@@ -1,0 +1,58 @@
+"""Shared configuration for the benchmark harness.
+
+Every figure/table of the paper has one benchmark module here.  Figure
+benches regenerate their artifact at full paper scale (1000 packets per
+source, the complete 1/lambda sweep), record the series as an aligned
+text table (the textual equivalent of the paper's plot) and assert the
+reproduction's shape criteria from DESIGN.md.  They use
+``benchmark.pedantic(..., rounds=1)`` because a full regeneration is
+tens of seconds; the micro-benchmarks in
+``test_bench_micro_kernels.py`` use auto-calibrated rounds instead.
+
+Recorded tables are printed in the terminal summary (so they survive
+pytest's output capture) and written to ``benchmarks/results/*.txt``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+_ARTIFACTS: list[tuple[str, str]] = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Record a regenerated figure/table for display and archival.
+
+    ``name`` becomes the results file name; ``text`` is the rendered
+    table.  Called by the figure benches instead of bare ``print`` so
+    the artifact survives pytest's output capture.
+    """
+    _ARTIFACTS.append((name, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", name)
+    (_RESULTS_DIR / f"{safe}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def full_scale():
+    """Paper-scale parameters shared by the figure benches."""
+    return {"n_packets": 1000, "seed": 0}
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _ARTIFACTS:
+        return
+    terminalreporter.section("regenerated paper artifacts")
+    for name, text in _ARTIFACTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"===== {name} =====")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

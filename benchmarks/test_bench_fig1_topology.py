@@ -1,0 +1,32 @@
+"""Figure 1: regenerate the evaluation topology.
+
+Rebuilds the Figure 1 deployment and routing tree, prints the flow
+table and the traffic-accumulation profile, and asserts the facts the
+figure conveys: hop counts 15/22/9/11 and progressive merging.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig1 import topology_summary
+from repro.net.routing import greedy_grid_tree
+from repro.net.topology import paper_topology
+
+
+def _regenerate():
+    deployment = paper_topology()
+    tree = greedy_grid_tree(deployment, width=12)
+    return topology_summary(deployment, tree)
+
+
+def test_fig1_topology(benchmark):
+    summary = benchmark(_regenerate)
+    emit("fig1_topology", summary.render())
+
+    assert all(flow.matches_paper for flow in summary.flows)
+    assert sorted(f.hop_count for f in summary.flows) == [9, 11, 15, 22]
+    assert summary.n_nodes == 144
+    # Progressive merging: flows-per-node grows monotonically along
+    # S1's path and all four flows share the near-sink trunk.
+    counts = [count for _, count in summary.trunk_flow_counts]
+    assert counts == sorted(counts)
+    assert counts[0] >= 1 and counts[-1] == 4

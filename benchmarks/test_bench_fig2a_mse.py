@@ -1,0 +1,46 @@
+"""Figure 2(a): adversary MSE vs traffic load, three evaluation cases.
+
+Paper shape to reproduce (flow S1, baseline adversary, 1/mu = 30,
+k = 10, 1000 packets/source):
+
+* NoDelay: MSE identically 0 (the adversary subtracts h*tau exactly);
+* Delay&UnlimitedBuffers: small, roughly load-independent MSE -- only
+  the delay *variance* h/mu^2 = 13.5e3 is left;
+* Delay&LimitedBuffers (RCAD): MSE on the 10^5 scale at high traffic
+  (1/lambda = 2), shrinking toward case 2 as traffic slows, because
+  preemption stops once rho = lambda_agg/mu drops below k.
+"""
+
+from conftest import emit
+
+from repro.experiments.common import PAPER_INTERARRIVALS
+from repro.experiments.fig2 import figure2_mse
+
+
+def test_fig2a_mse(benchmark, full_scale):
+    table = benchmark.pedantic(
+        figure2_mse,
+        kwargs=dict(interarrivals=PAPER_INTERARRIVALS, **full_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig2a_mse", table.render())
+
+    no_delay = table.get("NoDelay")
+    unlimited = table.get("Delay&UnlimitedBuffers")
+    rcad = table.get("Delay&LimitedBuffers")
+
+    # Case 1 is exactly zero everywhere.
+    assert all(abs(v) < 1e-9 for v in no_delay.y_values)
+    # Case 2 sits at the delay-variance scale (h/mu^2 = 13.5e3) at
+    # every load: the adversary's model is correct, only noise remains.
+    assert all(0.5e4 < v < 2.5e4 for v in unlimited.y_values)
+    # Case 3 at the highest load reaches the paper's 10^5 scale and
+    # dominates case 2 by an order of magnitude.
+    assert rcad.value_at(2) > 5e4
+    assert rcad.value_at(2) > 5 * unlimited.value_at(2)
+    # The privacy gain decays as traffic slows (preemption vanishes):
+    # by 1/lambda = 20 RCAD is back near case 2.
+    assert rcad.value_at(20) < 2 * unlimited.value_at(20)
+    # Monotone trend across the sweep ends.
+    assert rcad.value_at(2) > rcad.value_at(10) > rcad.value_at(20) * 0.8

@@ -1,0 +1,45 @@
+"""Figure 2(b): mean delivery latency vs traffic load, three cases.
+
+Paper shape to reproduce (flow S1):
+
+* NoDelay: flat at h*tau = 15, the floor;
+* Delay&UnlimitedBuffers: flat at h*(tau + 1/mu) = 465, the ceiling
+  ("the average of the combined delay distribution of all the nodes in
+  the path");
+* Delay&LimitedBuffers (RCAD): between the two, and *decreasing* as
+  traffic grows -- preemptions release packets early; at 1/lambda = 2
+  the paper reports a ~2.5x reduction versus case 2.
+"""
+
+from conftest import emit
+
+from repro.experiments.common import PAPER_INTERARRIVALS
+from repro.experiments.fig2 import figure2_latency
+
+
+def test_fig2b_latency(benchmark, full_scale):
+    table = benchmark.pedantic(
+        figure2_latency,
+        kwargs=dict(interarrivals=PAPER_INTERARRIVALS, **full_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig2b_latency", table.render())
+
+    no_delay = table.get("NoDelay")
+    unlimited = table.get("Delay&UnlimitedBuffers")
+    rcad = table.get("Delay&LimitedBuffers")
+
+    # Case 1: the 15-hop transmission floor at every load.
+    assert all(abs(v - 15.0) < 1e-9 for v in no_delay.y_values)
+    # Case 2: the full budget, within sampling error of 465.
+    assert all(abs(v - 465.0) / 465.0 < 0.05 for v in unlimited.y_values)
+    # Case 3 sits strictly between floor and ceiling at every load.
+    for x in table.x_values:
+        assert no_delay.value_at(x) < rcad.value_at(x) <= unlimited.value_at(x) * 1.02
+    # The paper's headline: at 1/lambda = 2, RCAD cuts latency by a
+    # factor of ~2.5 (we accept 2 to 4).
+    reduction = unlimited.value_at(2) / rcad.value_at(2)
+    assert 2.0 < reduction < 4.5
+    # Latency reduction fades as traffic slows.
+    assert rcad.value_at(20) > rcad.value_at(2)

@@ -1,0 +1,91 @@
+"""Section 4: queueing analysis validated against discrete-event runs.
+
+Three artifacts:
+
+* M/M/infinity occupancy (mean, sojourn, full distribution) --
+  simulation vs the Poisson(rho) closed form at the paper's operating
+  point (lambda = 0.5, 1/mu = 30, rho = 15);
+* Equation (5), the Erlang loss formula -- simulated M/M/k/k blocking
+  vs E(rho, k) across loads spanning light to heavily saturated;
+* the routing-tree composition -- per-node occupancy of the *full WSN
+  simulator* on the Figure 1 topology vs the QueueTreeModel's
+  rho_i = lambda_i / mu prediction (superposition + Burke, end to end).
+"""
+
+from conftest import emit
+
+import pytest
+
+from repro.experiments.queueing_validation import (
+    erlang_loss_validation,
+    mm_infinity_validation,
+    tree_occupancy_validation,
+)
+
+
+def test_mm_infinity_closed_form(benchmark):
+    report = benchmark.pedantic(
+        mm_infinity_validation,
+        kwargs=dict(
+            arrival_rate=0.5, service_rate=1.0 / 30.0, horizon=60_000.0, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["# M/M/inf validation (lambda=0.5, 1/mu=30)"]
+    for key, value in report.items():
+        lines.append(f"  {key:>18}: {value:10.4f}")
+    emit("queueing_mm_infinity", "\n".join(lines))
+
+    assert report["simulated_mean"] == pytest.approx(
+        report["analytic_mean"], rel=0.05
+    )
+    assert report["simulated_sojourn"] == pytest.approx(
+        report["analytic_sojourn"], rel=0.05
+    )
+    assert report["tv_distance"] < 0.05
+
+
+def test_erlang_loss_formula(benchmark):
+    table = benchmark.pedantic(
+        erlang_loss_validation,
+        kwargs=dict(
+            offered_loads=(2.0, 5.0, 10.0, 15.0, 25.0),
+            capacity=10,
+            horizon=60_000.0,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("queueing_erlang_loss", table.render())
+
+    analytic = table.get("Erlang B (analytic)")
+    simulated = table.get("M/M/k/k simulation")
+    for x in table.x_values:
+        assert simulated.value_at(x) == pytest.approx(
+            analytic.value_at(x), abs=0.02
+        )
+    # Blocking grows with offered load.
+    assert list(analytic.y_values) == sorted(analytic.y_values)
+
+
+def test_tree_model_against_wsn_simulator(benchmark):
+    table = benchmark.pedantic(
+        tree_occupancy_validation,
+        kwargs=dict(interarrival=10.0, mean_delay=30.0, n_packets=3000, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("queueing_tree_model", table.render())
+
+    predicted = table.get("QueueTreeModel rho_i")
+    measured = table.get("simulated occupancy")
+    # Aggregate occupancy along the path within 15%.
+    assert sum(measured.y_values) == pytest.approx(
+        sum(predicted.y_values), rel=0.15
+    )
+    # The accumulation gradient: near-sink occupancy clearly above
+    # near-source occupancy, in both model and simulation.
+    assert predicted.y_values[-1] > 1.5 * predicted.y_values[0]
+    assert measured.y_values[-1] > 1.5 * measured.y_values[0]

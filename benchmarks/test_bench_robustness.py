@@ -1,0 +1,72 @@
+"""Robustness benches: link loss and replication confidence intervals.
+
+Two artifacts a careful reader of Figure 2 would ask for:
+
+* the RCAD row under radio loss -- loss thins trunk traffic, reduces
+  preemption, and therefore *erodes* the privacy boost while costing
+  delivery;
+* the headline Figure 2 cells with Student-t confidence intervals over
+  independent seeds, demonstrating the case separation is not a
+  one-seed artifact.
+"""
+
+from conftest import emit
+
+from repro.experiments.robustness import figure2_replicated, link_loss_robustness
+
+
+def test_link_loss_robustness(benchmark):
+    rows = benchmark.pedantic(
+        link_loss_robustness,
+        kwargs=dict(
+            loss_probabilities=(0.0, 0.02, 0.05, 0.1), n_packets=500, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["# RCAD under i.i.d. per-hop link loss (1/lambda=2, flow S1)"]
+    lines.append(f"{'loss':>6} {'delivered':>10} {'lost(all)':>10} "
+                 f"{'MSE':>10} {'latency':>9} {'preempt':>9}")
+    for row in rows:
+        lines.append(
+            f"{row.loss_probability:>6.2f} {row.delivered_fraction:>10.2f} "
+            f"{row.lost_in_transit:>10} {row.mse:>10.0f} "
+            f"{row.mean_latency:>9.1f} {row.preemptions:>9}")
+    emit("robustness_link_loss", "\n".join(lines))
+
+    assert rows[0].delivered_fraction == 1.0
+    # Monotone erosion of delivery, preemption volume and privacy.
+    deliveries = [row.delivered_fraction for row in rows]
+    preemptions = [row.preemptions for row in rows]
+    mses = [row.mse for row in rows]
+    assert deliveries == sorted(deliveries, reverse=True)
+    assert preemptions == sorted(preemptions, reverse=True)
+    assert mses == sorted(mses, reverse=True)
+    # Even at 10% loss the privacy boost survives (MSE >> case 2's 1.4e4).
+    assert rows[-1].mse > 3e4
+
+
+def test_figure2_confidence_intervals(benchmark):
+    cells = benchmark.pedantic(
+        figure2_replicated,
+        kwargs=dict(n_replications=5, n_packets=1000, base_seed=100),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["# Figure 2 headline cells, 5 seeds, 95% Student-t intervals"]
+    lines.append(f"{'case':>10} {'MSE mean':>10} {'+/-':>8} "
+                 f"{'latency mean':>13} {'+/-':>7}")
+    for cell in cells:
+        lines.append(
+            f"{cell.case:>10} {cell.mse.mean:>10.0f} {cell.mse.half_width:>8.0f} "
+            f"{cell.latency.mean:>13.1f} {cell.latency.half_width:>7.1f}")
+    emit("robustness_fig2_confidence", "\n".join(lines))
+
+    by_case = {cell.case: cell for cell in cells}
+    rcad, unlimited = by_case["rcad"], by_case["unlimited"]
+    # The privacy gap dwarfs the seed noise.
+    assert rcad.mse.ci_low > 3 * unlimited.mse.ci_high
+    # And so does the latency gap, in the other direction.
+    assert rcad.latency.ci_high < unlimited.latency.ci_low
+    # Seed noise itself is modest (< 15% of the mean).
+    assert rcad.mse.half_width < 0.15 * rcad.mse.mean

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Adversary escalation: naive -> baseline -> adaptive -> path-aware.
+
+One RCAD-defended network, four adversaries of increasing capability,
+all scoring the same observation stream:
+
+1. **naive** (Section 2.1): subtracts transmission time only;
+2. **baseline** (Section 5.1): also subtracts the advertised mean
+   delay h/mu;
+3. **adaptive** (Section 5.4): watches the sink's aggregate rate and
+   switches to the saturation estimate n k / lambda_tot when the
+   Erlang loss formula says preemption dominates;
+4. **path-aware** (extension): additionally knows the per-node
+   aggregate rates along each flow's path and models each hop's
+   saturation separately;
+5. **model-based** (extension): replaces the threshold switching with
+   the exact closed form (1 - E(rho_v, k))/mu per hop -- the strongest
+   timing adversary in the library, nearly unbiased at every load.
+
+The table shows how much privacy survives each escalation step.
+
+Usage::
+
+    python examples/adversary_escalation.py [interarrival]
+"""
+
+import sys
+
+from repro.core.adversary import ModelBasedAdversary, PathAwareAdaptiveAdversary
+from repro.experiments.common import (
+    PAPER_MEAN_DELAY,
+    build_adversary,
+    paper_flow_knowledge,
+    run_paper_case,
+    score_flow,
+)
+from repro.net.routing import greedy_grid_tree
+from repro.net.topology import paper_topology
+from repro.queueing.tandem import QueueTreeModel
+
+
+def _path_rates(interarrival: float) -> dict[int, list[float]]:
+    """Per-node aggregate rates along every flow's path."""
+    deployment = paper_topology()
+    tree = greedy_grid_tree(deployment, width=12)
+    sources = [deployment.node_for_label(s) for s in ("S1", "S2", "S3", "S4")]
+    model = QueueTreeModel(
+        parent=dict(tree.parent),
+        injection_rates={s: 1.0 / interarrival for s in sources},
+        default_service_rate=1.0 / PAPER_MEAN_DELAY,
+    )
+    return {
+        source: [model.arrival_rate(node) for node in tree.path(source)[:-1]]
+        for source in sources
+    }
+
+
+def main() -> None:
+    interarrival = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+    print(f"RCAD network at 1/lambda = {interarrival:g}; flow S1 scored\n")
+    result = run_paper_case(interarrival=interarrival, case="rcad",
+                            n_packets=500, seed=5)
+    rates = _path_rates(interarrival)
+    knowledge = paper_flow_knowledge("rcad")
+    adversaries = {
+        "naive": build_adversary("naive", "rcad"),
+        "baseline": build_adversary("baseline", "rcad"),
+        "adaptive": build_adversary("adaptive", "rcad"),
+        "path-aware": PathAwareAdaptiveAdversary(knowledge, path_rates=rates),
+        "model-based": ModelBasedAdversary(knowledge, path_rates=rates),
+    }
+    print(f"{'adversary':>12} {'MSE':>14} {'RMSE':>10} {'mean error':>12}")
+    for name, adversary in adversaries.items():
+        metrics = score_flow(result, adversary, flow_id=1)
+        print(f"{name:>12} {metrics.mse:>14.1f} {metrics.rmse:>10.2f} "
+              f"{metrics.mean_error:>12.2f}")
+    print(
+        "\nReading: each escalation step buys the adversary accuracy, "
+        "but even the model-based adversary (full deployment knowledge "
+        "plus the exact closed-form delay model, mean error near zero) "
+        "retains a substantial RMSE -- the residual privacy RCAD's "
+        "*randomness* provides, as opposed to the modelling error the "
+        "weaker adversaries suffer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Asset tracking: how temporal privacy protects a moving target.
+
+The paper's opening scenario, end to end: an animal crosses the
+Figure 1 sensor field; every sensor it passes reports the sighting to
+the sink.  The hunter at the sink reads each report's origin (sensor
+position -- cleartext header) and estimates its creation time, then
+interpolates a track.  Because the animal *moves*, every time unit of
+creation-time ambiguity becomes distance on the ground.
+
+Usage::
+
+    python examples/asset_tracking_demo.py [speed]
+"""
+
+import sys
+
+from repro.experiments.asset_tracking import (
+    ZIGZAG_WAYPOINTS,
+    asset_tracking_experiment,
+)
+from repro.tracking.trajectory import waypoint_trajectory
+
+
+def main() -> None:
+    speed = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    trajectory = waypoint_trajectory(ZIGZAG_WAYPOINTS, speed=speed, start_time=50.0)
+    print(
+        f"asset path: {len(ZIGZAG_WAYPOINTS)} waypoints, "
+        f"{trajectory.total_length():.1f} units long, speed {speed:g} -> "
+        f"{trajectory.end_time - trajectory.start_time:.0f} time units\n"
+    )
+    rows = asset_tracking_experiment(speeds=(speed,), seed=7)
+    print(f"{'network':>10} {'time RMSE':>10} {'mean localization error':>24}")
+    for row in rows:
+        print(f"{row.case:>10} {row.time_rmse:>10.1f} "
+              f"{row.localization_error:>24.2f}")
+    undefended, defended = rows[0], rows[1]
+    factor = defended.localization_error / max(undefended.localization_error, 1e-9)
+    print(
+        f"\nReading: RCAD multiplies the hunter's tracking error by "
+        f"~{factor:.1f}x at this speed.  The undefended error is just the "
+        "detection-radius quantization; the defended error is the "
+        "creation-time RMSE converted to ground distance by the asset's "
+        "motion -- the temporal-to-spatial ambiguity conversion the "
+        "paper's introduction promises."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Buffer provisioning with the Erlang loss formula (paper Section 4).
+
+Temporal privacy and buffer utilization are conflicting objectives:
+longer delays mean more packets parked in each node's tiny memory.  The
+paper's Section 4 turns the Erlang loss formula into a design tool --
+given each node's aggregate traffic rate lambda_i and its k buffer
+slots, pick the delay parameter mu_i so the drop/preemption rate stays
+at a target alpha.
+
+This example walks the full design loop on the paper topology:
+
+1. predict per-node aggregate rates with the queueing tree model,
+2. plan per-node delays with the Erlang-target planner (and compare
+   against the naive uniform plan),
+3. simulate, and check the realized preemption rates and occupancy
+   against the analytic predictions.
+
+Usage::
+
+    python examples/buffer_provisioning.py
+"""
+
+from repro.core.planner import ErlangTargetPlanner, UniformPlanner
+from repro.net.routing import greedy_grid_tree
+from repro.net.topology import paper_topology
+from repro.queueing.erlang import erlang_b
+from repro.queueing.tandem import QueueTreeModel
+from repro.sim.config import BufferSpec, FlowSpec, SimulationConfig
+from repro.sim.simulator import SensorNetworkSimulator
+from repro.traffic.generators import PoissonTraffic
+
+INTERARRIVAL = 6.0
+CAPACITY = 10
+TARGET_LOSS = 0.05
+N_PACKETS = 600
+
+
+def main() -> None:
+    deployment = paper_topology()
+    tree = greedy_grid_tree(deployment, width=12)
+    sources = [deployment.node_for_label(s) for s in ("S1", "S2", "S3", "S4")]
+    rate = 1.0 / INTERARRIVAL
+    flow_rates = {s: rate for s in sources}
+
+    model = QueueTreeModel(
+        parent=dict(tree.parent), injection_rates=flow_rates,
+        default_service_rate=1.0 / 30.0,
+    )
+    s1 = deployment.node_for_label("S1")
+    path = tree.path(s1)[:-1]
+
+    print(f"design target: drop/preemption rate alpha <= {TARGET_LOSS}\n")
+    print("per-node plan along S1's path (source -> sink):")
+    print(f"{'hop':>4} {'lambda_i':>10} {'uniform 1/mu':>13} "
+          f"{'E(rho,k) unif':>14} {'erlang 1/mu_i':>14} {'E(rho,k) plan':>14}")
+    planner = ErlangTargetPlanner(
+        buffer_capacity=CAPACITY, target_loss=TARGET_LOSS, max_mean_delay=240.0
+    )
+    plan = planner.plan(tree, flow_rates)
+    uniform = UniformPlanner(30.0).plan(tree, flow_rates)
+    for hop, node in enumerate(path):
+        lam = model.arrival_rate(node)
+        unif_mean = uniform.distribution_for(node).mean
+        plan_mean = plan.distribution_for(node).mean
+        print(f"{hop:>4} {lam:>10.3f} {unif_mean:>13.1f} "
+              f"{erlang_b(lam * unif_mean, CAPACITY):>14.3f} "
+              f"{plan_mean:>14.1f} "
+              f"{erlang_b(lam * plan_mean, CAPACITY):>14.3f}")
+
+    print("\nsimulating both plans with RCAD buffers "
+          f"(Poisson sources, 1/lambda={INTERARRIVAL:g})...")
+    print(f"{'plan':>14} {'preemption rate':>16} {'mean latency S1':>16} "
+          f"{'planned delay S1':>17}")
+    for name, the_plan in (("uniform", uniform), ("erlang-target", plan)):
+        flows = [
+            FlowSpec(flow_id=i + 1, source=s,
+                     traffic=PoissonTraffic(rate=rate), n_packets=N_PACKETS)
+            for i, s in enumerate(sources)
+        ]
+        config = SimulationConfig(
+            deployment=deployment, tree=tree, flows=flows, delay_plan=the_plan,
+            buffers=BufferSpec(kind="rcad", capacity=CAPACITY), seed=11,
+        )
+        result = SensorNetworkSimulator(config).run()
+        offered = sum(st.admitted for st in result.node_stats.values())
+        preempt_rate = result.total_preemptions() / offered if offered else 0.0
+        print(f"{name:>14} {preempt_rate:>16.3f} "
+              f"{result.mean_latency(flow_id=1):>16.1f} "
+              f"{the_plan.mean_path_delay(tree, s1) + 15:>17.1f}")
+
+    print(
+        "\nReading: the uniform plan overloads the near-sink trunk "
+        "(Erlang loss far above alpha there), so RCAD preempts heavily "
+        "and realized delays fall short of the plan.  The Erlang-target "
+        "plan shortens delays near the sink and lengthens them at the "
+        "edge, holding every node near the target preemption rate -- "
+        "Section 4's rule, executed end to end."
+    )
+
+
+if __name__ == "__main__":
+    main()

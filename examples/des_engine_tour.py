@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""A tour of the discrete-event engine: an M/M/1 queue from scratch.
+
+Everything in this repository runs on ``repro.des``, a small
+deterministic DES engine with two programming styles:
+
+* callback scheduling (``sim.schedule_after``) -- what the WSN
+  simulator uses internally, and
+* generator processes (``yield Timeout(...)``) -- SimPy-style
+  coroutines, shown here.
+
+The demo builds the textbook M/M/1 queue as two cooperating processes
+and checks Little's law and the closed-form mean waiting time
+``W = 1 / (mu - lambda)`` against the simulation.
+
+Usage::
+
+    python examples/des_engine_tour.py [rho]
+"""
+
+import sys
+
+from repro.des import Process, RngRegistry, Simulator, Timeout
+
+
+def run_mm1(arrival_rate: float, service_rate: float, horizon: float, seed: int):
+    """Simulate M/M/1 with generator processes; return summary stats."""
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    arrivals_rng = rng.stream("arrivals")
+    service_rng = rng.stream("service")
+
+    queue: list[float] = []          # arrival times of waiting customers
+    server_busy = [False]
+    sojourns: list[float] = []
+    # Track E[N] by integrating the sample path.
+    tracker = {"last": 0.0, "integral": 0.0}
+
+    def in_system() -> int:
+        return len(queue) + (1 if server_busy[0] else 0)
+
+    def update_integral():
+        now = sim.now
+        tracker["integral"] += in_system() * (now - tracker["last"])
+        tracker["last"] = now
+
+    def server():
+        while True:
+            if not queue:
+                return  # server process re-spawned on next arrival
+            update_integral()
+            arrived_at = queue.pop(0)
+            server_busy[0] = True
+            yield Timeout(float(service_rng.exponential(1.0 / service_rate)))
+            update_integral()
+            server_busy[0] = False
+            sojourns.append(sim.now - arrived_at)
+
+    def arrivals():
+        while sim.now < horizon:
+            yield Timeout(float(arrivals_rng.exponential(1.0 / arrival_rate)))
+            if sim.now >= horizon:
+                return
+            update_integral()
+            queue.append(sim.now)
+            if not server_busy[0]:
+                Process(sim, server())
+
+    Process(sim, arrivals())
+    sim.run()
+    update_integral()
+    elapsed = tracker["last"]
+    return {
+        "completed": len(sojourns),
+        "mean_sojourn": sum(sojourns) / len(sojourns) if sojourns else 0.0,
+        "mean_in_system": tracker["integral"] / elapsed if elapsed else 0.0,
+    }
+
+
+def main() -> None:
+    rho = float(sys.argv[1]) if len(sys.argv) > 1 else 0.7
+    arrival_rate, service_rate = rho, 1.0
+    stats = run_mm1(arrival_rate, service_rate, horizon=200_000.0, seed=13)
+    w_theory = 1.0 / (service_rate - arrival_rate)
+    n_theory = rho / (1.0 - rho)
+    print(f"M/M/1 at rho = {rho:g} ({stats['completed']} customers served)\n")
+    print(f"{'quantity':>22} {'simulated':>11} {'theory':>9}")
+    print(f"{'mean sojourn W':>22} {stats['mean_sojourn']:>11.3f} "
+          f"{w_theory:>9.3f}")
+    print(f"{'mean in system N':>22} {stats['mean_in_system']:>11.3f} "
+          f"{n_theory:>9.3f}")
+    little = stats['mean_in_system'] / max(stats['mean_sojourn'], 1e-12)
+    print(f"{'Little ratio N/W':>22} {little:>11.3f} {arrival_rate:>9.3f}")
+    print(
+        "\nReading: the same engine, RNG streams and determinism "
+        "guarantees that drive the paper's evaluation also reproduce "
+        "the M/M/1 closed forms -- the smallest end-to-end check that "
+        "the substrate is trustworthy."
+    )
+
+
+if __name__ == "__main__":
+    main()

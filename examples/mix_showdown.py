@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Mix showdown: where the paper's mechanism sits in the mix lineage.
+
+The paper's per-node delaying is Kesdogan's stop-and-go mix, deployed
+at every hop of a sensor routing tree (§6).  This example pushes one
+Poisson message stream through the four classical designs at an
+(approximately) equal mean-latency budget and scores each on both
+privacy currencies:
+
+* set anonymity -- the entropy of "which batch-mates could this output
+  be?" (what threshold/pool mixes are built for);
+* temporal privacy -- how uncertain is the output *time* given the
+  input time (what a delay-tolerant sensor network needs).
+
+Usage::
+
+    python examples/mix_showdown.py [target_latency]
+"""
+
+import sys
+
+from repro.experiments.mix_comparison import compare_mixes_at_equal_latency
+
+
+def main() -> None:
+    target = float(sys.argv[1]) if len(sys.argv) > 1 else 30.0
+    rows = compare_mixes_at_equal_latency(
+        target_latency=target, message_rate=0.5, horizon=6000.0, seed=3
+    )
+    print(f"one Poisson(0.5) stream, every design tuned to ~{target:g} "
+          "mean latency\n")
+    print(f"{'design':>20} {'latency':>9} {'temporal MSE':>13} "
+          f"{'set entropy':>12} {'linkage entropy':>16}")
+    for row in rows:
+        linkage = (
+            f"{row.linkage_entropy:.2f}" if row.linkage_entropy is not None else "-"
+        )
+        print(f"{row.design:>20} {row.mean_latency:>9.1f} "
+              f"{row.temporal_mse:>13.0f} {row.set_entropy:>12.2f} "
+              f"{linkage:>16}")
+    print(
+        "\nReading: batching mixes earn their anonymity as *set* entropy "
+        "(ln of the batch size) but their flush instants are highly "
+        "structured in time.  The stop-and-go mix -- the paper's per-node "
+        "mechanism -- has no batches at all, yet matches the batching "
+        "designs on temporal MSE and posts a comparable per-message "
+        "*linkage* entropy.  Its latency budget is spent entirely on "
+        "timing uncertainty, which is the currency temporal privacy is "
+        "priced in -- and unlike pool mixes, it composes across a "
+        "network of queues (Burke's theorem), which is exactly why the "
+        "paper can run it at every hop."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Packet forensics: watching RCAD act on individual packets.
+
+The aggregate results (Figures 2-3) say *that* RCAD works; this
+example shows *how*, using the simulator's per-packet lifecycle
+tracing.  It runs a short, heavily loaded RCAD simulation, picks the
+packet that was preempted the most, and prints its full life: every
+buffering stop, the delay it was promised, and where preemption cut
+that delay short.
+
+Usage::
+
+    python examples/packet_forensics.py
+"""
+
+from repro.core.victim import ShortestRemainingDelay
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import SensorNetworkSimulator
+
+
+def main() -> None:
+    config = SimulationConfig.paper_baseline(
+        interarrival=2.0, case="rcad", n_packets=120,
+        victim_policy=ShortestRemainingDelay(), seed=21,
+    )
+    config.record_packet_traces = True
+    result = SensorNetworkSimulator(config).run()
+
+    most_preempted = max(
+        result.packet_traces.values(), key=lambda trace: trace.preemption_count
+    )
+    print(
+        f"{result.delivered_count()} packets delivered, "
+        f"{result.total_preemptions()} preemptions network-wide.\n"
+    )
+    print(f"most-preempted packet ({most_preempted.preemption_count} preemptions):\n")
+    print(most_preempted.render())
+
+    print("\nper-node realized buffering delays of this packet:")
+    advertised = 30.0
+    for node, delay in most_preempted.buffering_delays():
+        marker = "  <- cut short" if delay < 0.2 * advertised else ""
+        print(f"  node {node:>4}: {delay:7.2f} (advertised mean {advertised:g})"
+              f"{marker}")
+    print(
+        "\nReading: every 'preempted' line is a moment the node's buffer "
+        "filled and this packet -- holding the shortest remaining delay "
+        "-- was pushed out early.  Those truncated delays are exactly "
+        "what the baseline adversary's model misses, and the sum of the "
+        "gaps is the bias behind Figure 2(a)'s privacy boost."
+    )
+
+
+if __name__ == "__main__":
+    main()

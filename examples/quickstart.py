@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: temporal privacy in 60 seconds.
+
+Runs the paper's evaluation scenario (Figure 1 topology, four periodic
+sources) at one traffic load for all three cases --
+
+1. NoDelay                 (undefended network),
+2. Delay&UnlimitedBuffers  (exponential delays, infinite memory),
+3. Delay&LimitedBuffers    (RCAD on 10-slot Mica-2-sized buffers),
+
+-- then lets the deployment-aware baseline adversary estimate every
+packet's creation time and prints the paper's two metrics: the
+adversary's mean square error (privacy; higher is better) and the mean
+end-to-end latency (performance; lower is better).
+
+Usage::
+
+    python examples/quickstart.py [interarrival] [n_packets]
+"""
+
+import sys
+
+from repro.experiments.common import build_adversary, run_paper_case, score_flow
+from repro.experiments.fig2 import CASE_LABELS
+
+
+def main() -> None:
+    interarrival = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+    n_packets = int(sys.argv[2]) if len(sys.argv) > 2 else 300
+
+    print(f"paper topology, 4 flows, 1/lambda = {interarrival:g}, "
+          f"{n_packets} packets per source, flow S1 scored\n")
+    print(f"{'case':>24} {'adversary MSE':>16} {'mean latency':>14} "
+          f"{'preemptions':>12}")
+    for case, label in CASE_LABELS.items():
+        result = run_paper_case(
+            interarrival=interarrival, case=case, n_packets=n_packets, seed=42
+        )
+        metrics = score_flow(result, build_adversary("baseline", case), flow_id=1)
+        print(
+            f"{label:>24} {metrics.mse:>16.1f} {metrics.latency.mean:>14.2f} "
+            f"{result.total_preemptions():>12}"
+        )
+
+    print(
+        "\nReading: the undefended network leaks creation times exactly "
+        "(MSE 0); unlimited buffering leaks almost as much because the "
+        "adversary knows the delay distribution (only its variance is "
+        "left); RCAD's preemptions make the adversary's model wrong and "
+        "the MSE jumps by an order of magnitude -- at *lower* latency "
+        "than unlimited buffering."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Defending both axes: phantom routing x RCAD.
+
+The paper's introduction frames asset privacy as two questions --
+*where* was the asset seen (source location) and *when* (temporal).
+The authors' earlier phantom routing answers the first; this paper's
+RCAD answers the second.  This example runs the 2x2 on one flow and
+scores each cell against both adversaries:
+
+* a timing adversary at the sink (creation-time MSE), and
+* a backtracing local eavesdropper that walks the routing path
+  backwards one overheard transmission at a time (capture time = the
+  "safety period" of the source-location literature).
+
+Usage::
+
+    python examples/spatiotemporal_defense.py [walk_length]
+"""
+
+import sys
+
+from repro.experiments.spatiotemporal import spatiotemporal_experiment
+
+
+def main() -> None:
+    walk_length = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    rows = spatiotemporal_experiment(
+        walk_length=walk_length, interarrival=4.0, n_packets=300, seed=9
+    )
+    print(f"flow S1 (15 tree hops), phantom walk length {walk_length}\n")
+    print(f"{'routing':>8} {'buffering':>10} {'temporal MSE':>13} "
+          f"{'safety period':>14} {'backtrace moves':>16}")
+    for row in rows:
+        safety = f"{row.capture_time:.0f}" if row.captured else "not captured"
+        print(f"{row.routing:>8} {row.buffering:>10} {row.temporal_mse:>13.0f} "
+              f"{safety:>14} {row.backtrace_moves:>16}")
+    print(
+        "\nReading: the defences are orthogonal.  Phantom routing alone "
+        "leaves every creation time exactly recoverable (MSE 0); plain "
+        "tree routing alone is backtraced in exactly 15 moves however "
+        "well the timing is hidden.  Each defence stretches the "
+        "backtracer's safety period (phantom by scattering the "
+        "near-source hops, RCAD by spacing transmissions out in time), "
+        "and only the combination protects the asset in both space and "
+        "time -- the spatio-temporal privacy the paper's introduction "
+        "calls for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This
+file exists only so that fully offline environments without the
+``wheel`` package (where PEP 660 editable installs cannot be built) can
+still do ``python setup.py develop`` / ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

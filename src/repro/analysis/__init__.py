@@ -1,0 +1,24 @@
+"""Experiment plumbing: statistics, sweeps and table formatting.
+
+The experiment drivers in :mod:`repro.experiments` produce *series*
+(metric vs swept parameter, one per evaluated scheme); this package
+holds the shared machinery: replication statistics with confidence
+intervals, the parameter-sweep runner, and plain-text table rendering
+used by the benchmark harnesses to print paper-style rows.
+"""
+
+from repro.analysis.charts import render_chart
+from repro.analysis.records import ExperimentSeries, ExperimentTable
+from repro.analysis.stats import SummaryStats, bootstrap_ci, summarize
+from repro.analysis.sweep import replicate, sweep
+
+__all__ = [
+    "ExperimentSeries",
+    "ExperimentTable",
+    "SummaryStats",
+    "summarize",
+    "bootstrap_ci",
+    "sweep",
+    "replicate",
+    "render_chart",
+]

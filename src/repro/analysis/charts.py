@@ -1,0 +1,68 @@
+"""Terminal charts: render an ExperimentTable as ASCII art.
+
+The paper communicates through figures; in a terminal-only
+environment the closest faithful rendering is a scaled bar chart per
+series.  :func:`render_chart` draws one horizontal bar block per swept
+x value and series, scaled to the table's maximum, so the figure's
+*shape* (who dominates, where curves converge) is visible at a glance
+without matplotlib.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.records import ExperimentTable
+
+__all__ = ["render_chart"]
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def render_chart(
+    table: ExperimentTable,
+    width: int = 48,
+    log_scale: bool = False,
+) -> str:
+    """Render the table as grouped horizontal bars.
+
+    Parameters
+    ----------
+    table:
+        The experiment table to draw.
+    width:
+        Width of the longest bar, in character cells.
+    log_scale:
+        Scale bar lengths by log10(1 + value) instead of value; useful
+        when series span orders of magnitude (e.g. Figure 2(a)).
+    """
+    if width < 4:
+        raise ValueError(f"chart width must be at least 4, got {width}")
+    if not table.series:
+        raise ValueError("table has no series to draw")
+
+    def scale(value: float) -> float:
+        if value < 0:
+            raise ValueError("bar charts need non-negative values")
+        if log_scale:
+            import math
+
+            return math.log10(1.0 + value)
+        return value
+
+    peak = max(scale(v) for series in table.series for v in series.y_values)
+    label_width = max(len(series.label) for series in table.series)
+    lines = [
+        f"# {table.title}",
+        f"  ({table.y_label}"
+        + (", log scale" if log_scale else "")
+        + f"; bar = {width} cells at max)",
+    ]
+    for i, x in enumerate(table.x_values):
+        lines.append(f"{table.x_label} = {x:g}")
+        for series in table.series:
+            value = series.y_values[i]
+            cells = 0.0 if peak == 0 else scale(value) / peak * width
+            whole = int(cells)
+            bar = _BAR * whole + (_HALF if cells - whole >= 0.5 else "")
+            lines.append(f"  {series.label:>{label_width}} |{bar} {value:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Experiment result containers and plain-text rendering.
+
+An :class:`ExperimentSeries` is one curve of a figure: a swept
+parameter (the x axis) against a measured metric (the y axis) for one
+scheme.  An :class:`ExperimentTable` groups the curves of one figure
+and renders them as the aligned text table the benchmark harnesses
+print -- the reproduction's equivalent of the paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["ExperimentSeries", "ExperimentTable"]
+
+
+@dataclass
+class ExperimentSeries:
+    """One labelled curve: y values over shared x values."""
+
+    label: str
+    x_values: Sequence[float]
+    y_values: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x_values) != len(self.y_values):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x_values)} x values but "
+                f"{len(self.y_values)} y values"
+            )
+        if not self.x_values:
+            raise ValueError(f"series {self.label!r} is empty")
+
+    def value_at(self, x: float) -> float:
+        """The y value measured at swept point ``x`` (exact match)."""
+        for xi, yi in zip(self.x_values, self.y_values):
+            if xi == x:
+                return yi
+        raise KeyError(f"series {self.label!r} has no point at x={x!r}")
+
+    def as_dict(self) -> dict[float, float]:
+        """{x: y} mapping of the curve."""
+        return dict(zip(self.x_values, self.y_values))
+
+
+@dataclass
+class ExperimentTable:
+    """A figure's worth of curves sharing one x axis."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[ExperimentSeries] = field(default_factory=list)
+
+    def add(self, series: ExperimentSeries) -> None:
+        """Append a curve, checking x-axis consistency."""
+        if self.series and list(series.x_values) != list(self.series[0].x_values):
+            raise ValueError(
+                f"series {series.label!r} has a different x axis than the table"
+            )
+        self.series.append(series)
+
+    def get(self, label: str) -> ExperimentSeries:
+        """Look up a curve by label."""
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(
+            f"no series labelled {label!r}; have {[s.label for s in self.series]}"
+        )
+
+    @property
+    def x_values(self) -> Sequence[float]:
+        """The shared x axis."""
+        if not self.series:
+            raise ValueError("table has no series yet")
+        return self.series[0].x_values
+
+    def render(self, float_format: str = "{:>14.4g}") -> str:
+        """Aligned text table: one row per x value, one column per curve."""
+        if not self.series:
+            raise ValueError("table has no series yet")
+        header_cells = [f"{self.x_label:>12}"] + [
+            f"{series.label:>14}" for series in self.series
+        ]
+        lines = [
+            f"# {self.title}  ({self.y_label})",
+            " ".join(header_cells),
+        ]
+        for i, x in enumerate(self.x_values):
+            cells = [f"{x:>12g}"] + [
+                float_format.format(series.y_values[i]) for series in self.series
+            ]
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+    def as_dict(self) -> Mapping[str, dict[float, float]]:
+        """{label: {x: y}} of every curve."""
+        return {series.label: series.as_dict() for series in self.series}
+
+    def to_csv(self) -> str:
+        """The table as CSV text: one x column plus one column per curve.
+
+        Labels containing commas or quotes are quoted per RFC 4180.
+        """
+        if not self.series:
+            raise ValueError("table has no series yet")
+
+        def quote(cell: str) -> str:
+            if any(ch in cell for ch in ',"\n'):
+                return '"' + cell.replace('"', '""') + '"'
+            return cell
+
+        header = [quote(self.x_label)] + [quote(s.label) for s in self.series]
+        lines = [",".join(header)]
+        for i, x in enumerate(self.x_values):
+            row = [repr(float(x))] + [
+                repr(float(series.y_values[i])) for series in self.series
+            ]
+            lines.append(",".join(row))
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> str:
+        """The table as a JSON document (title, labels, series data)."""
+        import json
+
+        if not self.series:
+            raise ValueError("table has no series yet")
+        return json.dumps(
+            {
+                "title": self.title,
+                "x_label": self.x_label,
+                "y_label": self.y_label,
+                "x_values": [float(x) for x in self.x_values],
+                "series": [
+                    {
+                        "label": series.label,
+                        "y_values": [float(y) for y in series.y_values],
+                    }
+                    for series in self.series
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentTable":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        payload = json.loads(text)
+        table = cls(
+            title=payload["title"],
+            x_label=payload["x_label"],
+            y_label=payload["y_label"],
+        )
+        for series in payload["series"]:
+            table.add(
+                ExperimentSeries(
+                    series["label"], payload["x_values"], series["y_values"]
+                )
+            )
+        return table

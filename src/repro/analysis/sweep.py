@@ -1,0 +1,43 @@
+"""Parameter sweeps and seed replication."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.analysis.stats import SummaryStats, summarize
+
+__all__ = ["sweep", "replicate"]
+
+T = TypeVar("T")
+
+
+def sweep(
+    parameter_values: Sequence[float],
+    run_one: Callable[[float], T],
+) -> list[T]:
+    """Evaluate ``run_one`` at every swept parameter value, in order.
+
+    Thin but load-bearing: every experiment driver funnels its sweep
+    through here, so instrumentation (progress, caching) has a single
+    seam.
+    """
+    if not parameter_values:
+        raise ValueError("sweep needs at least one parameter value")
+    return [run_one(value) for value in parameter_values]
+
+
+def replicate(
+    n_replications: int,
+    run_one: Callable[[int], float],
+    base_seed: int = 0,
+    confidence: float = 0.95,
+) -> SummaryStats:
+    """Run ``run_one(seed)`` under distinct seeds and summarize.
+
+    Seeds are ``base_seed, base_seed + 1, ...`` so replication sets are
+    reproducible and disjoint across experiments using different bases.
+    """
+    if n_replications < 1:
+        raise ValueError(f"need at least 1 replication, got {n_replications}")
+    values = [run_one(base_seed + i) for i in range(n_replications)]
+    return summarize(values, confidence=confidence)

@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Every paper artifact can be regenerated from the shell without writing
+code.  Commands:
+
+* ``fig1`` -- print the Figure 1 topology facts;
+* ``fig2`` -- regenerate Figure 2(a) (MSE) and 2(b) (latency) tables;
+* ``fig3`` -- regenerate the Figure 3 adversary comparison;
+* ``run``  -- one simulation of a chosen case at a chosen load, scored
+  by a chosen adversary;
+* ``theory`` -- the Section 3 bound validations;
+* ``queueing`` -- the Section 4 closed-form validations.
+
+Common options: ``--packets`` (default 1000, the paper's size; use a
+smaller value for a fast look), ``--seed``, and for ``fig2``/``fig3``
+``--interarrivals`` as comma-separated values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Temporal Privacy in Wireless Sensor Networks' "
+            "(ICDCS 2007): regenerate the paper's figures and analyses."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("fig1", help="print the Figure 1 topology facts")
+
+    for name, help_text in (
+        ("fig2", "regenerate Figure 2(a) MSE and 2(b) latency tables"),
+        ("fig3", "regenerate the Figure 3 adversary comparison"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--packets", type=int, default=1000,
+            help="packets per source (paper: 1000)",
+        )
+        sub.add_argument("--seed", type=int, default=0, help="root random seed")
+        sub.add_argument(
+            "--interarrivals", type=str, default="2,4,6,8,10,12,14,16,18,20",
+            help="comma-separated 1/lambda sweep values",
+        )
+        sub.add_argument(
+            "--chart", action="store_true",
+            help="also draw ASCII bar charts of the series",
+        )
+        sub.add_argument(
+            "--csv", type=str, default=None, metavar="PATH",
+            help="also write the series as CSV to PATH "
+                 "(fig2 writes PATH and PATH.latency.csv)",
+        )
+        sub.add_argument(
+            "--json", type=str, default=None, metavar="PATH",
+            help="also write the series as JSON to PATH "
+                 "(fig2 writes PATH and PATH.latency.json)",
+        )
+        if name == "fig3":
+            sub.add_argument(
+                "--path-aware", action="store_true",
+                help="include the extension path-aware adversary series",
+            )
+
+    run = commands.add_parser(
+        "run", help="one simulation at one load, scored by one adversary"
+    )
+    run.add_argument(
+        "--case", choices=("no-delay", "unlimited", "rcad"), default="rcad"
+    )
+    run.add_argument(
+        "--adversary", choices=("naive", "baseline", "adaptive"), default="baseline"
+    )
+    run.add_argument("--interarrival", type=float, default=2.0)
+    run.add_argument("--packets", type=int, default=1000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--flow", type=int, default=1, help="flow id to score (1..4)")
+
+    for name, help_text in (
+        ("theory", "Section 3 information-bound validations"),
+        ("queueing", "Section 4 queueing validations"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--fast", action="store_true",
+            help="reduced sample sizes / horizons for a quick look",
+        )
+    return parser
+
+
+def _parse_sweep(raw: str) -> tuple[float, ...]:
+    try:
+        values = tuple(float(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"invalid --interarrivals value: {raw!r}")
+    if not values or any(v <= 0 for v in values):
+        raise SystemExit("--interarrivals needs positive comma-separated numbers")
+    return values
+
+
+def _cmd_fig1() -> None:
+    from repro.experiments.fig1 import topology_summary
+
+    print(topology_summary().render())
+
+
+def _export(table, path: str | None, kind: str, suffix: str = "") -> None:
+    if path is None:
+        return
+    target = path if not suffix else f"{path}.{suffix}.{kind}"
+    text = table.to_csv() if kind == "csv" else table.to_json()
+    with open(target, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {target}")
+
+
+def _cmd_fig2(args: argparse.Namespace) -> None:
+    from repro.experiments.fig2 import figure2
+
+    mse, latency = figure2(
+        interarrivals=_parse_sweep(args.interarrivals),
+        n_packets=args.packets,
+        seed=args.seed,
+    )
+    print(mse.render())
+    print()
+    print(latency.render())
+    if args.chart:
+        from repro.analysis.charts import render_chart
+
+        print()
+        print(render_chart(mse, log_scale=True))
+        print()
+        print(render_chart(latency))
+    _export(mse, args.csv, "csv")
+    _export(latency, args.csv, "csv", suffix="latency")
+    _export(mse, args.json, "json")
+    _export(latency, args.json, "json", suffix="latency")
+
+
+def _cmd_fig3(args: argparse.Namespace) -> None:
+    from repro.experiments.fig3 import figure3
+
+    table = figure3(
+        interarrivals=_parse_sweep(args.interarrivals),
+        n_packets=args.packets,
+        seed=args.seed,
+        include_path_aware=args.path_aware,
+    )
+    print(table.render())
+    if args.chart:
+        from repro.analysis.charts import render_chart
+
+        print()
+        print(render_chart(table, log_scale=True))
+    _export(table, args.csv, "csv")
+    _export(table, args.json, "json")
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    from repro.experiments.common import build_adversary, run_paper_case, score_flow
+
+    result = run_paper_case(
+        interarrival=args.interarrival,
+        case=args.case,
+        n_packets=args.packets,
+        seed=args.seed,
+    )
+    metrics = score_flow(
+        result, build_adversary(args.adversary, args.case), flow_id=args.flow
+    )
+    print(f"case            : {args.case}")
+    print(f"adversary       : {args.adversary}")
+    print(f"1/lambda        : {args.interarrival:g}")
+    print(f"flow            : {args.flow} ({metrics.n_packets} packets)")
+    print(f"adversary MSE   : {metrics.mse:,.1f}")
+    print(f"adversary RMSE  : {metrics.rmse:,.2f}")
+    print(f"mean latency    : {metrics.latency.mean:.2f}")
+    print(f"p95 latency     : {metrics.latency.p95:.2f}")
+    print(f"preemptions     : {result.total_preemptions()}")
+    print(f"drops           : {result.drop_count()}")
+
+
+def _cmd_theory(fast: bool) -> None:
+    from repro.experiments.theory import (
+        delay_distribution_comparison,
+        validate_bits_through_queues,
+        validate_epi_bound,
+    )
+
+    n_realizations = 1200 if fast else 4000
+    n_samples = 2500 if fast else 8000
+    print(validate_bits_through_queues(n_realizations=n_realizations).render())
+    print()
+    print(validate_epi_bound(n_samples=n_samples).render())
+    print()
+    print("# delay families at equal mean (nats of leakage)")
+    for family, value in sorted(
+        delay_distribution_comparison(n_samples=n_samples).items(),
+        key=lambda kv: kv[1],
+    ):
+        print(f"  {family:>12}: {value:.3f}")
+
+
+def _cmd_queueing(fast: bool) -> None:
+    from repro.experiments.queueing_validation import (
+        erlang_loss_validation,
+        mm_infinity_validation,
+        tree_occupancy_validation,
+    )
+
+    horizon = 10_000.0 if fast else 60_000.0
+    n_packets = 800 if fast else 2000
+    report = mm_infinity_validation(horizon=horizon)
+    print("# M/M/inf validation (lambda=0.5, 1/mu=30)")
+    for key, value in report.items():
+        print(f"  {key:>18}: {value:10.4f}")
+    print()
+    print(erlang_loss_validation(horizon=horizon).render())
+    print()
+    print(tree_occupancy_validation(n_packets=n_packets).render())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "fig1":
+        _cmd_fig1()
+    elif args.command == "fig2":
+        _cmd_fig2(args)
+    elif args.command == "fig3":
+        _cmd_fig3(args)
+    elif args.command == "run":
+        _cmd_run(args)
+    elif args.command == "theory":
+        _cmd_theory(args.fast)
+    elif args.command == "queueing":
+        _cmd_queueing(args.fast)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

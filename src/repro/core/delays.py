@@ -1,0 +1,275 @@
+"""Artificial delay distributions.
+
+The temporal-privacy mechanism is simple: before forwarding, a node
+holds each packet for a random time Y drawn from one of these
+distributions.  The paper argues for the **exponential**: among all
+non-negative distributions of a given mean it has maximal differential
+entropy, so for a fixed latency budget it gives the adversary the least
+predictable delay.  The others serve as ablation comparators and for
+the §3.3 decomposition experiments.
+
+Every distribution reports its mean and differential entropy so the
+information-theoretic machinery can evaluate trade-offs analytically.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.infotheory.entropy import (
+    erlang_entropy,
+    exponential_entropy,
+    uniform_entropy,
+)
+
+__all__ = [
+    "DelayDistribution",
+    "ExponentialDelay",
+    "UniformDelay",
+    "ConstantDelay",
+    "ErlangDelay",
+    "ParetoDelay",
+]
+
+
+class DelayDistribution(abc.ABC):
+    """A non-negative random delay with known mean and entropy."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one delay."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """E[Y], the average artificial delay this node injects."""
+
+    @property
+    @abc.abstractmethod
+    def entropy(self) -> float:
+        """Differential entropy h(Y) in nats (-inf for point masses)."""
+
+    def scaled(self, factor: float) -> "DelayDistribution":
+        """A distribution of the same family with mean scaled by ``factor``.
+
+        Used by the hop-delay planners of §3.3 to split a path delay
+        budget unevenly across nodes while keeping the family fixed.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support mean re-scaling"
+        )
+
+
+class ExponentialDelay(DelayDistribution):
+    """Exp(rate) delay with mean 1/rate: the paper's choice.
+
+    Parameters
+    ----------
+    rate:
+        mu; the paper's simulations use 1/mu = 30 time units.
+
+    Examples
+    --------
+    >>> d = ExponentialDelay(rate=1 / 30)
+    >>> d.mean
+    30.0
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "ExponentialDelay":
+        """Construct from the mean delay 1/mu."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return cls(rate=1.0 / mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    @property
+    def entropy(self) -> float:
+        return exponential_entropy(self.rate)
+
+    def scaled(self, factor: float) -> "ExponentialDelay":
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return ExponentialDelay(rate=self.rate / factor)
+
+    def __repr__(self) -> str:
+        return f"ExponentialDelay(mean={self.mean:g})"
+
+
+class UniformDelay(DelayDistribution):
+    """Uniform(low, high) delay: bounded, sub-max-entropy comparator."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0:
+            raise ValueError(f"low must be non-negative, got {low}")
+        if high <= low:
+            raise ValueError(f"need high > low, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "UniformDelay":
+        """Uniform(0, 2*mean), matching the exponential's mean."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return cls(0.0, 2.0 * mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def entropy(self) -> float:
+        return uniform_entropy(self.high - self.low)
+
+    def scaled(self, factor: float) -> "UniformDelay":
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return UniformDelay(self.low * factor, self.high * factor)
+
+    def __repr__(self) -> str:
+        return f"UniformDelay([{self.low:g}, {self.high:g}])"
+
+
+class ConstantDelay(DelayDistribution):
+    """Deterministic delay: adds latency but zero timing uncertainty.
+
+    The degenerate comparator: h(Y) = -infinity, so a deployment-aware
+    adversary subtracts it perfectly and privacy gains nothing.
+    """
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"delay must be non-negative, got {value}")
+        self.value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def entropy(self) -> float:
+        return -math.inf
+
+    def scaled(self, factor: float) -> "ConstantDelay":
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return ConstantDelay(self.value * factor)
+
+    def __repr__(self) -> str:
+        return f"ConstantDelay({self.value:g})"
+
+
+class ErlangDelay(DelayDistribution):
+    """Erlang(shape, rate) delay: sum of ``shape`` exponential stages.
+
+    Interpolates between exponential (shape=1) and nearly deterministic
+    (large shape) at fixed mean shape/rate -- useful for studying how
+    concentrating the delay distribution erodes privacy.
+    """
+
+    def __init__(self, shape: int, rate: float) -> None:
+        if shape < 1 or int(shape) != shape:
+            raise ValueError(f"shape must be a positive integer, got {shape}")
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.shape = int(shape)
+        self.rate = float(rate)
+
+    @classmethod
+    def from_mean(cls, mean: float, shape: int = 2) -> "ErlangDelay":
+        """Erlang with the given mean and stage count."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return cls(shape=shape, rate=shape / mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(self.shape, 1.0 / self.rate))
+
+    @property
+    def mean(self) -> float:
+        return self.shape / self.rate
+
+    @property
+    def entropy(self) -> float:
+        return erlang_entropy(self.shape, self.rate)
+
+    def scaled(self, factor: float) -> "ErlangDelay":
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return ErlangDelay(shape=self.shape, rate=self.rate / factor)
+
+    def __repr__(self) -> str:
+        return f"ErlangDelay(shape={self.shape}, mean={self.mean:g})"
+
+
+class ParetoDelay(DelayDistribution):
+    """Pareto(x_m, alpha) delay: the heavy-tailed comparator.
+
+    Heavy tails are sometimes proposed for timing obfuscation because
+    occasional huge delays frustrate worst-case analysis.  The entropy
+    verdict is still negative: as a non-negative law of the same mean,
+    the Pareto's differential entropy cannot exceed the exponential's
+    (max-entropy property) -- and its tail costs unbounded latency
+    percentiles.  Requires alpha > 1 so the mean exists.
+    """
+
+    def __init__(self, scale: float, shape: float) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale (x_m) must be positive, got {scale}")
+        if shape <= 1:
+            raise ValueError(
+                f"shape (alpha) must exceed 1 for a finite mean, got {shape}"
+            )
+        self.scale = float(scale)
+        self.shape = float(shape)
+
+    @classmethod
+    def from_mean(cls, mean: float, shape: float = 2.5) -> "ParetoDelay":
+        """Pareto with the given mean: x_m = mean (alpha - 1) / alpha."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if shape <= 1:
+            raise ValueError(f"shape must exceed 1, got {shape}")
+        return cls(scale=mean * (shape - 1.0) / shape, shape=shape)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        # numpy's pareto draws (X/x_m - 1); rescale and shift back.
+        return float(self.scale * (1.0 + rng.pareto(self.shape)))
+
+    @property
+    def mean(self) -> float:
+        return self.shape * self.scale / (self.shape - 1.0)
+
+    @property
+    def entropy(self) -> float:
+        # h = ln(x_m / alpha) + 1 + 1/alpha  (standard Pareto entropy).
+        return math.log(self.scale / self.shape) + 1.0 + 1.0 / self.shape
+
+    def scaled(self, factor: float) -> "ParetoDelay":
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return ParetoDelay(scale=self.scale * factor, shape=self.shape)
+
+    def __repr__(self) -> str:
+        return f"ParetoDelay(mean={self.mean:g}, alpha={self.shape:g})"

@@ -1,0 +1,40 @@
+"""Lightweight sensor-grade cryptography substrate.
+
+The paper's network model assumes *encrypted payloads* (sensor reading,
+application sequence number, creation timestamp) and *cleartext routing
+headers* -- the adversary "is not able to decipher packet contents by
+decrypting the payloads, and hence ... must infer packet creation times
+solely from network knowledge and the time it witnesses a packet"
+(Section 2).  So that this is a real property of the simulated packets
+rather than an assumption, this subpackage implements the kind of
+symmetric primitives that run on motes (SPINS / TinySec lineage):
+
+* :class:`~repro.crypto.speck.Speck64_128` -- the Speck64/128 block
+  cipher (an ARX design sized for constrained devices),
+* :func:`~repro.crypto.modes.ctr_keystream` /
+  :class:`~repro.crypto.modes.CtrCipher` -- counter-mode encryption,
+* :class:`~repro.crypto.mac.CbcMac` -- CBC-MAC authentication tags,
+* :class:`~repro.crypto.keys.KeyManager` -- per-node keys derived from
+  a network master key (the SPINS model of sink-shared pairwise keys).
+
+None of this is intended for real-world security use; it exists so the
+simulated adversary genuinely cannot read payload timestamps.
+"""
+
+from repro.crypto.keys import KeyManager, NodeKeys
+from repro.crypto.mac import CbcMac
+from repro.crypto.modes import CtrCipher, ctr_keystream
+from repro.crypto.payload import PayloadCodec, SealedPayload, SensorReading
+from repro.crypto.speck import Speck64_128
+
+__all__ = [
+    "Speck64_128",
+    "CtrCipher",
+    "ctr_keystream",
+    "CbcMac",
+    "KeyManager",
+    "NodeKeys",
+    "PayloadCodec",
+    "SealedPayload",
+    "SensorReading",
+]

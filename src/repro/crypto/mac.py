@@ -1,0 +1,51 @@
+"""CBC-MAC message authentication.
+
+TinySec authenticates each packet with a CBC-MAC under a dedicated MAC
+key.  We implement the length-prepended variant, which is secure for
+variable-length messages (plain CBC-MAC is only secure for fixed-length
+input): the first block MACed is the message length, so no message can
+be a prefix-extension of another.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+from repro.crypto.speck import Speck64_128
+
+__all__ = ["CbcMac"]
+
+
+class CbcMac:
+    """Length-prepended CBC-MAC over Speck64/128.
+
+    Examples
+    --------
+    >>> mac = CbcMac(bytes(16))
+    >>> tag = mac.tag(b"hello")
+    >>> mac.verify(b"hello", tag)
+    True
+    >>> mac.verify(b"hellp", tag)
+    False
+    """
+
+    tag_size = 8
+
+    def __init__(self, key: bytes) -> None:
+        self._cipher = Speck64_128(key)
+
+    def tag(self, message: bytes) -> bytes:
+        """Compute the 8-byte authentication tag of ``message``."""
+        block_size = self._cipher.block_size
+        padded = message + b"\x00" * (-len(message) % block_size)
+        state = self._cipher.encrypt_block(len(message).to_bytes(block_size, "little"))
+        for offset in range(0, len(padded), block_size):
+            block = padded[offset : offset + block_size]
+            state = self._cipher.encrypt_block(
+                bytes(s ^ b for s, b in zip(state, block))
+            )
+        return state
+
+    def verify(self, message: bytes, tag: bytes) -> bool:
+        """Constant-time check that ``tag`` authenticates ``message``."""
+        return hmac.compare_digest(self.tag(message), tag)

@@ -1,0 +1,114 @@
+"""Application-payload sealing: what the adversary cannot read.
+
+The paper's packet payload carries "application-level information, such
+as the sensor reading, application sequence number, and the time-stamp
+associated with the sensor reading", protected by conventional
+encryption (Section 2).  :class:`PayloadCodec` serializes exactly those
+three fields, encrypts them with the node's CTR key and authenticates
+ciphertext + header context with the node's MAC key (encrypt-then-MAC).
+
+The simulator attaches a :class:`SealedPayload` to every packet; the
+sink decrypts it to recover ground-truth creation times, while adversary
+implementations are *only handed the cleartext header and arrival time*.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyManager
+from repro.crypto.mac import CbcMac
+from repro.crypto.modes import CtrCipher
+
+__all__ = ["SensorReading", "SealedPayload", "PayloadCodec"]
+
+_FORMAT = struct.Struct("<dId")  # creation timestamp, app seq, reading value
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """Plaintext application payload of one sensor packet."""
+
+    created_at: float
+    app_seq: int
+    value: float
+
+    def pack(self) -> bytes:
+        """Serialize to the fixed wire format."""
+        return _FORMAT.pack(self.created_at, self.app_seq, self.value)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "SensorReading":
+        """Inverse of :meth:`pack`."""
+        created_at, app_seq, value = _FORMAT.unpack(raw)
+        return cls(created_at=created_at, app_seq=app_seq, value=value)
+
+
+@dataclass(frozen=True)
+class SealedPayload:
+    """Encrypted-and-authenticated payload as carried on the wire."""
+
+    origin_id: int
+    nonce: int
+    ciphertext: bytes
+    tag: bytes
+
+
+class PayloadCodec:
+    """Seals and opens sensor payloads using per-node derived keys."""
+
+    def __init__(self, key_manager: KeyManager) -> None:
+        self._keys = key_manager
+        self._ctr_cache: dict[int, CtrCipher] = {}
+        self._mac_cache: dict[int, CbcMac] = {}
+
+    def seal(self, origin_id: int, reading: SensorReading) -> SealedPayload:
+        """Encrypt ``reading`` under node ``origin_id``'s keys.
+
+        The nonce is the application sequence number, which the source
+        increments per packet, guaranteeing nonce uniqueness per key.
+        """
+        nonce = reading.app_seq & 0xFFFFFFFF
+        ciphertext = self._ctr(origin_id).encrypt(reading.pack(), nonce)
+        tag = self._mac(origin_id).tag(self._mac_context(origin_id, nonce, ciphertext))
+        return SealedPayload(
+            origin_id=origin_id, nonce=nonce, ciphertext=ciphertext, tag=tag
+        )
+
+    def open(self, payload: SealedPayload) -> SensorReading:
+        """Verify and decrypt a sealed payload (the sink's operation).
+
+        Raises
+        ------
+        ValueError
+            If the authentication tag does not verify.
+        """
+        context = self._mac_context(
+            payload.origin_id, payload.nonce, payload.ciphertext
+        )
+        if not self._mac(payload.origin_id).verify(context, payload.tag):
+            raise ValueError(
+                f"MAC verification failed for packet from node {payload.origin_id}"
+            )
+        raw = self._ctr(payload.origin_id).decrypt(payload.ciphertext, payload.nonce)
+        return SensorReading.unpack(raw)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _mac_context(origin_id: int, nonce: int, ciphertext: bytes) -> bytes:
+        return origin_id.to_bytes(8, "little") + nonce.to_bytes(4, "little") + ciphertext
+
+    def _ctr(self, node_id: int) -> CtrCipher:
+        cipher = self._ctr_cache.get(node_id)
+        if cipher is None:
+            cipher = CtrCipher(self._keys.node_keys(node_id).encryption_key)
+            self._ctr_cache[node_id] = cipher
+        return cipher
+
+    def _mac(self, node_id: int) -> CbcMac:
+        mac = self._mac_cache.get(node_id)
+        if mac is None:
+            mac = CbcMac(self._keys.node_keys(node_id).mac_key)
+            self._mac_cache[node_id] = mac
+        return mac

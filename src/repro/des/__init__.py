@@ -1,0 +1,42 @@
+"""Discrete-event simulation (DES) engine.
+
+This subpackage is the bottom-most substrate of the reproduction: a
+deterministic, dependency-free discrete-event simulator in the style of
+SimPy (which is not available in this offline environment).  It provides
+
+* :class:`~repro.des.engine.Simulator` -- a binary-heap event scheduler
+  with a floating-point clock, event cancellation, run-until semantics
+  and stable FIFO tie-breaking for simultaneous events,
+* :class:`~repro.des.process.Process` -- generator-based cooperative
+  processes layered on top of the scheduler (``yield Timeout(5)``),
+* :class:`~repro.des.rng.RngRegistry` -- named, independently seeded
+  random streams so that components (traffic, per-node delays, ...)
+  draw from decoupled generators and experiments are reproducible.
+
+The paper's evaluation ("we have developed a detailed event-driven
+simulator", Section 5) runs on exactly this kind of engine.
+"""
+
+from repro.des.engine import Simulator, EventHandle
+from repro.des.errors import (
+    DesError,
+    EventCancelled,
+    SchedulingInPastError,
+    SimulationFinished,
+)
+from repro.des.process import Process, Timeout, WaitEvent, ProcessEvent
+from repro.des.rng import RngRegistry
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Process",
+    "Timeout",
+    "WaitEvent",
+    "ProcessEvent",
+    "RngRegistry",
+    "DesError",
+    "EventCancelled",
+    "SchedulingInPastError",
+    "SimulationFinished",
+]

@@ -1,0 +1,17 @@
+"""Exception hierarchy for the DES engine."""
+
+
+class DesError(Exception):
+    """Base class for all discrete-event-simulation errors."""
+
+
+class SchedulingInPastError(DesError):
+    """An event was scheduled strictly before the current simulation time."""
+
+
+class SimulationFinished(DesError):
+    """Raised inside a process that is resumed after the simulation ended."""
+
+
+class EventCancelled(DesError):
+    """Raised inside a process whose pending event was cancelled."""

@@ -1,0 +1,189 @@
+"""Generator-based cooperative processes on top of the event scheduler.
+
+The callback API in :mod:`repro.des.engine` is sufficient for the WSN
+simulator, but sequential behaviours (a source emitting packets forever,
+a test harness staging several phases) read far more naturally as
+coroutines.  A :class:`Process` wraps a generator that yields *wait
+requests*:
+
+``yield Timeout(5.0)``
+    resume the process 5 time units later;
+``yield WaitEvent(ev)``
+    resume when another process (or callback code) triggers ``ev``;
+``yield other_process``
+    resume when ``other_process`` terminates (join semantics).
+
+This mirrors the SimPy programming model closely enough that the
+examples read like standard DES textbook code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.des.engine import EventHandle, Simulator
+from repro.des.errors import DesError, EventCancelled
+
+__all__ = ["Timeout", "WaitEvent", "ProcessEvent", "Process"]
+
+
+class Timeout:
+    """Wait request: resume the yielding process after ``delay``."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be non-negative, got {delay!r}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay:g})"
+
+
+class ProcessEvent:
+    """A one-shot event that processes can wait on.
+
+    Calling :meth:`trigger` resumes every waiter with the given value.
+    Triggering twice is an error: one-shot events model "the thing
+    happened", and double-triggering almost always indicates a logic
+    bug in the simulation scenario.
+    """
+
+    __slots__ = ("_triggered", "_value", "_waiters")
+
+    def __init__(self) -> None:
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`trigger` has been called."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`trigger` (None before that)."""
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, resuming all waiting processes."""
+        if self._triggered:
+            raise DesError("ProcessEvent triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            resume(value)
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        if self._triggered:
+            resume(self._value)
+        else:
+            self._waiters.append(resume)
+
+
+class WaitEvent:
+    """Wait request: resume when ``event`` is triggered."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: ProcessEvent) -> None:
+        self.event = event
+
+
+class Process:
+    """A running generator-based process.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock drives the process.
+    generator:
+        A generator yielding :class:`Timeout`, :class:`WaitEvent`,
+        :class:`ProcessEvent` or :class:`Process` wait requests.
+
+    Notes
+    -----
+    The process starts *immediately upon construction* at the current
+    simulation time (its body runs up to the first yield), matching
+    SimPy's ``env.process`` semantics.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator[Any, Any, Any]) -> None:
+        self._sim = sim
+        self._generator = generator
+        self._finished = ProcessEvent()
+        self._pending_handle: EventHandle | None = None
+        self._resume(None)
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return not self._finished.triggered
+
+    @property
+    def finished(self) -> ProcessEvent:
+        """Event triggered (with the return value) on termination."""
+        return self._finished
+
+    @property
+    def result(self) -> Any:
+        """The generator's return value; None until termination."""
+        return self._finished.value
+
+    def interrupt(self) -> None:
+        """Throw :class:`EventCancelled` into the process.
+
+        If the process is waiting on a timeout, that timeout is
+        cancelled first.  A process may catch the exception to clean up
+        and continue; otherwise it terminates.
+        """
+        if not self.alive:
+            return
+        if self._pending_handle is not None:
+            self._pending_handle.cancel()
+            self._pending_handle = None
+        try:
+            request = self._generator.throw(EventCancelled())
+        except (StopIteration, EventCancelled) as stop:
+            self._finish(getattr(stop, "value", None))
+        else:
+            self._dispatch(request)
+
+    # ------------------------------------------------------------------
+    def _resume(self, value: Any) -> None:
+        self._pending_handle = None
+        try:
+            request = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+        else:
+            self._dispatch(request)
+
+    def _dispatch(self, request: Any) -> None:
+        if isinstance(request, Timeout):
+            self._pending_handle = self._sim.schedule_after(
+                request.delay, self._resume, None
+            )
+        elif isinstance(request, WaitEvent):
+            request.event._add_waiter(self._resume)
+        elif isinstance(request, ProcessEvent):
+            request._add_waiter(self._resume)
+        elif isinstance(request, Process):
+            request._finished._add_waiter(self._resume)
+        else:
+            raise DesError(
+                f"process yielded {request!r}; expected Timeout, WaitEvent, "
+                "ProcessEvent or Process"
+            )
+
+    def _finish(self, value: Any) -> None:
+        if not self._finished.triggered:
+            self._finished.trigger(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "finished"
+        return f"Process({self._generator.__name__ if hasattr(self._generator, '__name__') else 'gen'}, {state})"

@@ -1,0 +1,64 @@
+"""Reproduction drivers: one module per paper figure or analysis.
+
+* :mod:`repro.experiments.fig1` -- the evaluation topology (Figure 1),
+* :mod:`repro.experiments.fig2` -- adversary MSE and delivery latency
+  vs traffic load for the three evaluation cases (Figures 2(a), 2(b)),
+* :mod:`repro.experiments.fig3` -- baseline vs adaptive adversary
+  under RCAD (Figure 3),
+* :mod:`repro.experiments.theory` -- the Section 3 information bounds
+  validated against empirical mutual information,
+* :mod:`repro.experiments.queueing_validation` -- the Section 4 queue
+  formulas validated against discrete-event simulation,
+* :mod:`repro.experiments.ablations` -- the design choices DESIGN.md
+  calls out (victim policy, delay allocation, drop vs preempt),
+* :mod:`repro.experiments.mix_comparison` -- the Section 6 mix designs
+  at equal mean latency (extension),
+* :mod:`repro.experiments.distribution_adversary` -- EM reconstruction
+  of the creation-time distribution, paper ref [1] (extension),
+* :mod:`repro.experiments.bayes_attack` -- the EM prior chained into a
+  per-packet posterior-mean estimator (extension),
+* :mod:`repro.experiments.asset_tracking` -- the Section 1-2 motivating
+  scenario: temporal ambiguity as spatial ambiguity (extension),
+* :mod:`repro.experiments.per_flow` -- privacy across the four paper
+  flows: path length is the multiplier (extension),
+* :mod:`repro.experiments.sensitivity` -- workload, buffer-size and
+  1/mu sweeps (extension),
+* :mod:`repro.experiments.robustness` -- lossy links and seed
+  -replication confidence intervals (extension).
+
+Every driver returns :class:`~repro.analysis.records.ExperimentTable`
+objects (or plain dicts for scalar checks) that the benchmark suite
+prints; none of them writes files or needs network access.
+"""
+
+from repro.experiments.common import (
+    PAPER_BUFFER_CAPACITY,
+    PAPER_INTERARRIVALS,
+    PAPER_MEAN_DELAY,
+    PAPER_N_PACKETS,
+    PAPER_N_SOURCES,
+    PAPER_TX_DELAY,
+    build_adversary,
+    paper_flow_knowledge,
+    run_paper_case,
+)
+from repro.experiments.fig1 import topology_summary
+from repro.experiments.fig2 import figure2, figure2_latency, figure2_mse
+from repro.experiments.fig3 import figure3
+
+__all__ = [
+    "PAPER_INTERARRIVALS",
+    "PAPER_MEAN_DELAY",
+    "PAPER_BUFFER_CAPACITY",
+    "PAPER_N_PACKETS",
+    "PAPER_N_SOURCES",
+    "PAPER_TX_DELAY",
+    "paper_flow_knowledge",
+    "build_adversary",
+    "run_paper_case",
+    "topology_summary",
+    "figure2",
+    "figure2_mse",
+    "figure2_latency",
+    "figure3",
+]

@@ -1,0 +1,97 @@
+"""Figure 1: the simulation topology.
+
+The paper's Figure 1 is a picture of the deployment: four sources
+(S1..S4) routing to a common sink over paths of 15, 22, 9 and 11 hops
+that merge progressively.  :func:`topology_summary` regenerates the
+figure's content as data: per-flow hop counts, path overlaps, and the
+per-node flow load profile along S1's path (the traffic-accumulation
+gradient the queueing analysis predicts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.routing import RoutingTree, greedy_grid_tree
+from repro.net.topology import PAPER_HOP_COUNTS, Deployment, paper_topology
+
+__all__ = ["FlowSummary", "TopologySummary", "topology_summary"]
+
+
+@dataclass(frozen=True)
+class FlowSummary:
+    """One flow of the Figure 1 topology."""
+
+    label: str
+    source: int
+    position: tuple[float, float]
+    hop_count: int
+    expected_hop_count: int
+
+    @property
+    def matches_paper(self) -> bool:
+        """True if the reproduced hop count equals the paper's."""
+        return self.hop_count == self.expected_hop_count
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """The Figure 1 content as data."""
+
+    flows: list[FlowSummary]
+    n_nodes: int
+    sink: int
+    trunk_flow_counts: list[tuple[int, int]]
+    """Along S1's path, (node id, number of flows traversing it)."""
+
+    def render(self) -> str:
+        """Text rendering of the topology facts."""
+        lines = [
+            "# Figure 1: simulation topology",
+            f"{'flow':>6} {'source':>8} {'position':>12} {'hops':>6} {'paper':>6}",
+        ]
+        for flow in self.flows:
+            lines.append(
+                f"{flow.label:>6} {flow.source:>8} "
+                f"{str(flow.position):>12} {flow.hop_count:>6} "
+                f"{flow.expected_hop_count:>6}"
+            )
+        lines.append("")
+        lines.append("flows traversing each node of S1's path (source -> sink):")
+        lines.append(
+            " ".join(f"{count}" for _, count in self.trunk_flow_counts)
+        )
+        return "\n".join(lines)
+
+
+def topology_summary(
+    deployment: Deployment | None = None, tree: RoutingTree | None = None
+) -> TopologySummary:
+    """Reproduce the Figure 1 topology and summarize its structure."""
+    deployment = deployment or paper_topology()
+    tree = tree or greedy_grid_tree(deployment, width=12)
+    flows = []
+    for label, expected in PAPER_HOP_COUNTS.items():
+        source = deployment.node_for_label(label)
+        flows.append(
+            FlowSummary(
+                label=label,
+                source=source,
+                position=deployment.positions[source],
+                hop_count=tree.hop_count(source),
+                expected_hop_count=expected,
+            )
+        )
+    sources = {f.label: f.source for f in flows}
+    paths = {label: tree.path(source) for label, source in sources.items()}
+    s1_path = paths["S1"][:-1]  # buffering nodes only
+    trunk = [
+        (node, sum(1 for path in paths.values() if node in path))
+        for node in s1_path
+    ]
+    return TopologySummary(
+        flows=flows,
+        n_nodes=len(deployment.positions),
+        sink=deployment.sink,
+        trunk_flow_counts=trunk,
+    )

@@ -1,0 +1,102 @@
+"""Extension: comparing the §6 mix designs at equal mean latency.
+
+The paper places its mechanism in the mix lineage: threshold/pool
+mixes "wait until a certain threshold number of packets arrive", while
+Kesdogan's SG-Mix "delays an individual incoming message according to
+an exponential distribution" -- the very strategy the paper deploys in
+every sensor node.  This experiment makes the comparison quantitative.
+
+For a Poisson message stream, each design is configured to the *same
+mean latency* and scored on:
+
+* ``temporal_mse`` -- the paper's privacy currency (variance left to a
+  mean-compensating timing adversary);
+* ``set_entropy`` -- the classical sender-anonymity-set entropy (which
+  favours batching designs);
+* ``linkage_entropy`` -- for the SG-Mix, the posterior linkage
+  entropy, its proper anonymity measure.
+
+The headline: batching designs buy *set* anonymity but their flush
+times are highly informative (low temporal MSE per unit latency at low
+batch sizes and synchronized departures), while the SG-Mix converts
+all of its latency budget into temporal uncertainty -- which is why a
+delay-tolerant sensor network wanting *temporal* privacy uses SG-Mix
+style delaying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mixes.designs import Mix, PoolMix, StopAndGoMix, ThresholdMix, TimedMix
+from repro.mixes.metrics import (
+    mean_latency,
+    sender_anonymity_entropy,
+    sg_linkage_entropy,
+    temporal_mse,
+)
+from repro.queueing.poisson import sample_poisson_arrivals
+
+__all__ = ["MixComparisonRow", "compare_mixes_at_equal_latency"]
+
+
+@dataclass(frozen=True)
+class MixComparisonRow:
+    """One mix design's scores."""
+
+    design: str
+    mean_latency: float
+    temporal_mse: float
+    set_entropy: float
+    linkage_entropy: float | None
+
+
+def compare_mixes_at_equal_latency(
+    target_latency: float = 30.0,
+    message_rate: float = 0.5,
+    horizon: float = 4000.0,
+    seed: int = 0,
+) -> list[MixComparisonRow]:
+    """Score the four designs on one Poisson stream at equal latency.
+
+    Design parameters are derived analytically from the target:
+
+    * threshold mix, batch n: a random message waits on average
+      ``(n-1)/2`` interarrivals, so ``n = 2 * target * rate + 1``;
+    * timed mix, interval T: mean wait ``T/2``, so ``T = 2 * target``;
+    * pool mix: threshold sizing with a small pool (its extra latency
+      is reported, not corrected for -- pools have unbounded tails);
+    * stop-and-go: mean delay = target, by definition.
+    """
+    if target_latency <= 0 or message_rate <= 0 or horizon <= 0:
+        raise ValueError("latency, rate and horizon must all be positive")
+    rng = np.random.Generator(np.random.PCG64(seed))
+    arrivals = sample_poisson_arrivals(message_rate, horizon, rng)
+    if arrivals.size < 50:
+        raise ValueError("horizon too short: fewer than 50 messages generated")
+
+    batch = max(2, int(round(2 * target_latency * message_rate + 1)))
+    designs: list[Mix] = [
+        ThresholdMix(batch_size=batch),
+        TimedMix(interval=2 * target_latency),
+        PoolMix(batch_size=batch, pool_size=max(1, batch // 4)),
+        StopAndGoMix(mean_delay=target_latency),
+    ]
+    rows = []
+    for design in designs:
+        output = design.transform(arrivals, rng)
+        linkage = None
+        if isinstance(design, StopAndGoMix):
+            linkage = sg_linkage_entropy(output, mean_delay=target_latency)
+        rows.append(
+            MixComparisonRow(
+                design=design.name,
+                mean_latency=mean_latency(output),
+                temporal_mse=temporal_mse(output),
+                set_entropy=sender_anonymity_entropy(output),
+                linkage_entropy=linkage,
+            )
+        )
+    return rows

@@ -1,0 +1,144 @@
+"""Robustness extensions: lossy links and replication statistics.
+
+Two questions a reviewer would ask of the Figure 2 results:
+
+* **Do the conclusions survive radio loss?**  The paper's PHY model is
+  lossless; real links are not.  :func:`link_loss_robustness` sweeps
+  an i.i.d. per-hop loss probability and reports delivery, privacy and
+  latency.  Loss thins the traffic that reaches the congested trunk,
+  which *reduces* preemption -- so packet loss actually erodes RCAD's
+  privacy boost (delays drift back toward the advertised law the
+  adversary knows).
+* **Is one seed representative?**  :func:`figure2_replicated` reruns
+  the Figure 2 headline cells across seeds and reports Student-t
+  confidence intervals, using the :mod:`repro.analysis` machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import SummaryStats
+from repro.analysis.sweep import replicate
+from repro.experiments.common import (
+    PAPER_BUFFER_CAPACITY,
+    PAPER_MEAN_DELAY,
+    PAPER_N_PACKETS,
+    build_adversary,
+    score_flow,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import SensorNetworkSimulator
+
+__all__ = [
+    "LinkLossRow",
+    "link_loss_robustness",
+    "Figure2Cell",
+    "figure2_replicated",
+]
+
+
+@dataclass(frozen=True)
+class LinkLossRow:
+    """RCAD under one per-hop loss probability."""
+
+    loss_probability: float
+    delivered_fraction: float
+    lost_in_transit: int
+    mse: float
+    mean_latency: float
+    preemptions: int
+
+
+def link_loss_robustness(
+    loss_probabilities: tuple[float, ...] = (0.0, 0.02, 0.05, 0.1),
+    interarrival: float = 2.0,
+    n_packets: int = 500,
+    seed: int = 0,
+    flow_id: int = 1,
+) -> list[LinkLossRow]:
+    """Sweep per-hop link loss under the RCAD configuration."""
+    rows = []
+    for loss in loss_probabilities:
+        config = SimulationConfig.paper_baseline(
+            interarrival=interarrival,
+            case="rcad",
+            n_packets=n_packets,
+            mean_delay=PAPER_MEAN_DELAY,
+            buffer_capacity=PAPER_BUFFER_CAPACITY,
+            seed=seed,
+        )
+        config.link_loss_probability = float(loss)
+        result = SensorNetworkSimulator(config).run()
+        delivered = result.delivered_count(flow_id)
+        if delivered == 0:
+            raise RuntimeError(
+                f"no flow-{flow_id} packets survived loss={loss}; "
+                "lower the loss probability"
+            )
+        metrics = score_flow(result, build_adversary("baseline", "rcad"), flow_id)
+        rows.append(
+            LinkLossRow(
+                loss_probability=float(loss),
+                delivered_fraction=delivered / n_packets,
+                lost_in_transit=result.lost_in_transit,
+                mse=metrics.mse,
+                mean_latency=metrics.latency.mean,
+                preemptions=result.total_preemptions(),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Figure2Cell:
+    """One replicated Figure 2 cell: metric +/- confidence interval."""
+
+    case: str
+    interarrival: float
+    mse: SummaryStats
+    latency: SummaryStats
+
+
+def figure2_replicated(
+    interarrival: float = 2.0,
+    cases: tuple[str, ...] = ("unlimited", "rcad"),
+    n_replications: int = 5,
+    n_packets: int = PAPER_N_PACKETS,
+    base_seed: int = 100,
+    flow_id: int = 1,
+) -> list[Figure2Cell]:
+    """Figure 2's headline cells with seed-replication statistics."""
+    if n_replications < 2:
+        raise ValueError("need at least 2 replications for an interval")
+    cells = []
+    for case in cases:
+        results: dict[int, tuple[float, float]] = {}
+
+        def one(seed: int, _case: str = case) -> float:
+            config = SimulationConfig.paper_baseline(
+                interarrival=interarrival,
+                case=_case,
+                n_packets=n_packets,
+                seed=seed,
+            )
+            result = SensorNetworkSimulator(config).run()
+            metrics = score_flow(
+                result, build_adversary("baseline", _case), flow_id
+            )
+            results[seed] = (metrics.mse, metrics.latency.mean)
+            return metrics.mse
+
+        mse_stats = replicate(n_replications, one, base_seed=base_seed)
+        from repro.analysis.stats import summarize
+
+        latency_stats = summarize([lat for _, lat in results.values()])
+        cells.append(
+            Figure2Cell(
+                case=case,
+                interarrival=interarrival,
+                mse=mse_stats,
+                latency=latency_stats,
+            )
+        )
+    return cells

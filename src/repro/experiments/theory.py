@@ -1,0 +1,148 @@
+"""Section 3 validation: the information-theoretic bounds, empirically.
+
+Three executable checks of the paper's theory:
+
+* :func:`validate_bits_through_queues` -- Equation (4): for a
+  Poisson(lambda) source with Exp(mu) delays, the empirical
+  I(X_j; Z_j) (Kraskov estimator over many process realizations) must
+  sit below ``ln(1 + j mu / lambda)`` for every packet index j;
+* :func:`validate_epi_bound` -- Equation (2): for Gaussian X and
+  exponential or Gaussian Y, empirical I(X; X+Y) must sit above the
+  entropy-power-inequality floor (and match the closed form exactly in
+  the all-Gaussian case);
+* :func:`delay_distribution_comparison` -- the max-entropy argument
+  for exponential delays: at equal mean delay, exponential leaks the
+  least information among {exponential, uniform, constant}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.records import ExperimentSeries, ExperimentTable
+from repro.core.delays import ConstantDelay, ExponentialDelay, UniformDelay
+from repro.infotheory.bounds import bits_through_queues_bound, epi_lower_bound
+from repro.infotheory.entropy import (
+    exponential_entropy,
+    gaussian_entropy,
+    gaussian_mutual_information,
+)
+from repro.infotheory.estimators import ksg_mutual_information
+
+__all__ = [
+    "validate_bits_through_queues",
+    "validate_epi_bound",
+    "delay_distribution_comparison",
+]
+
+
+def validate_bits_through_queues(
+    creation_rate: float = 0.5,
+    delay_rate: float = 1.0 / 30.0,
+    packet_indices: tuple[int, ...] = (1, 2, 5, 10, 20),
+    n_realizations: int = 4000,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Empirical I(X_j; Z_j) against the Equation (4) bound.
+
+    Draws ``n_realizations`` independent realizations of the creation
+    process; for each requested packet index j, X_j is the j-th Poisson
+    arrival (j-stage Erlangian) and Z_j = X_j + Exp(1/delay_rate).
+    """
+    rng = np.random.Generator(np.random.PCG64(seed))
+    indices = sorted(packet_indices)
+    max_index = indices[-1]
+    gaps = rng.exponential(1.0 / creation_rate, size=(n_realizations, max_index))
+    creation_times = np.cumsum(gaps, axis=1)
+    delays = rng.exponential(1.0 / delay_rate, size=(n_realizations, max_index))
+    arrivals = creation_times + delays
+
+    empirical = []
+    bounds = []
+    for j in indices:
+        empirical.append(
+            ksg_mutual_information(creation_times[:, j - 1], arrivals[:, j - 1])
+        )
+        bounds.append(bits_through_queues_bound(j, creation_rate, delay_rate))
+    table = ExperimentTable(
+        title=(
+            "Eq. (4) bits-through-queues: "
+            f"lambda={creation_rate:g}, mu={delay_rate:g}"
+        ),
+        x_label="packet index j",
+        y_label="mutual information (nats)",
+    )
+    table.add(ExperimentSeries("empirical I(Xj;Zj)", [float(j) for j in indices], empirical))
+    table.add(ExperimentSeries("ln(1 + j*mu/lambda)", [float(j) for j in indices], bounds))
+    return table
+
+
+def validate_epi_bound(
+    signal_std: float = 10.0,
+    delay_means: tuple[float, ...] = (5.0, 15.0, 30.0, 60.0),
+    n_samples: int = 8000,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Empirical I(X; X+Y) against the Equation (2) EPI floor.
+
+    X is Gaussian (entropy known exactly); Y is exponential with the
+    swept mean.  For reference the table also carries the all-Gaussian
+    closed form ``0.5 ln(1 + var_X / var_Y)`` at matched variance,
+    which upper-bounds the exponential case's floor gap intuitively.
+    """
+    rng = np.random.Generator(np.random.PCG64(seed))
+    x = rng.normal(0.0, signal_std, size=n_samples)
+    empirical = []
+    floors = []
+    gaussian_reference = []
+    for mean_delay in delay_means:
+        y = rng.exponential(mean_delay, size=n_samples)
+        z = x + y
+        empirical.append(ksg_mutual_information(x, z))
+        floors.append(
+            epi_lower_bound(
+                gaussian_entropy(signal_std**2),
+                exponential_entropy(1.0 / mean_delay),
+            )
+        )
+        gaussian_reference.append(
+            gaussian_mutual_information(signal_std**2, mean_delay**2)
+        )
+    table = ExperimentTable(
+        title=f"Eq. (2) EPI lower bound: X ~ N(0, {signal_std:g}^2), Y ~ Exp",
+        x_label="mean delay",
+        y_label="mutual information (nats)",
+    )
+    table.add(ExperimentSeries("empirical I(X;Z)", list(delay_means), empirical))
+    table.add(ExperimentSeries("EPI lower bound", list(delay_means), floors))
+    table.add(
+        ExperimentSeries("Gaussian-Y closed form", list(delay_means), gaussian_reference)
+    )
+    return table
+
+
+def delay_distribution_comparison(
+    mean_delay: float = 30.0,
+    signal_std: float = 10.0,
+    n_samples: int = 8000,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Leakage I(X; X+Y) per delay family at equal mean delay.
+
+    Exponential should leak the least and constant the most (a
+    deployment-aware adversary subtracts a constant exactly); this is
+    the executable version of the paper's max-entropy motivation.
+    Returns {family name: empirical MI in nats}.
+    """
+    rng = np.random.Generator(np.random.PCG64(seed))
+    x = rng.normal(0.0, signal_std, size=n_samples)
+    families = {
+        "exponential": ExponentialDelay.from_mean(mean_delay),
+        "uniform": UniformDelay.from_mean(mean_delay),
+        "constant": ConstantDelay(mean_delay),
+    }
+    leakage = {}
+    for name, distribution in families.items():
+        y = np.array([distribution.sample(rng) for _ in range(n_samples)])
+        leakage[name] = ksg_mutual_information(x, x + y)
+    return leakage

@@ -1,0 +1,37 @@
+"""Source-location privacy: the spatial companion (paper refs [11, 14]).
+
+The paper's introduction frames spatio-temporal privacy as two
+problems: hiding *when* a source observed the asset (this repository's
+main subject) and hiding *where* the source is -- studied by the same
+group as **phantom routing** (Kamat et al., ICDCS 2005; Ozturk et al.,
+SASN 2004): each packet first takes a random walk away from the
+source, then routes normally, so a hop-by-hop backtracing eavesdropper
+is led astray.
+
+This subpackage implements that companion defence and its adversary so
+the two can be combined:
+
+* :mod:`repro.location.policies` -- per-packet routing policies: plain
+  tree routing and phantom routing (random-walk prefix);
+* :mod:`repro.location.backtrace` -- the classical patient backtracing
+  adversary (starts at the sink, hops to the transmitter of each
+  packet it overhears arriving at its position) and the capture-time
+  metric;
+* the combined experiment lives in
+  :mod:`repro.experiments.spatiotemporal`.
+"""
+
+from repro.location.backtrace import BacktraceOutcome, BacktracingAdversary
+from repro.location.policies import (
+    PhantomRoutingPolicy,
+    RoutingPolicy,
+    TreeRoutingPolicy,
+)
+
+__all__ = [
+    "RoutingPolicy",
+    "TreeRoutingPolicy",
+    "PhantomRoutingPolicy",
+    "BacktracingAdversary",
+    "BacktraceOutcome",
+]

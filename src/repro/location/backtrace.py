@@ -1,0 +1,111 @@
+"""The backtracing adversary of the source-location literature.
+
+The classical "patient" local eavesdropper (Ozturk et al., 2004;
+Kamat et al., 2005): it starts at the sink and, whenever it overhears
+a transmission *arriving at its current position*, it moves to the
+transmitter.  Repeating this, it walks the routing path backwards at
+one hop per overheard packet, eventually camping outside the source --
+unless the routing layer (phantom routing) scatters the near-source
+hops it follows.
+
+The adversary here replays a simulation's transmission log: an exact,
+deterministic reconstruction of what a physically co-located
+eavesdropper would have overheard, with a per-move relocation delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["BacktraceOutcome", "BacktracingAdversary"]
+
+
+@dataclass(frozen=True)
+class BacktraceOutcome:
+    """Result of one backtracing hunt.
+
+    Attributes
+    ----------
+    captured:
+        True if the adversary reached the target source.
+    capture_time:
+        Simulation time of the capturing move (None if never).
+    moves:
+        Number of relocations performed.
+    visited:
+        The node sequence the adversary walked (starting at the sink).
+    """
+
+    captured: bool
+    capture_time: float | None
+    moves: int
+    visited: tuple[int, ...]
+
+
+class BacktracingAdversary:
+    """Replays a transmission log, hopping toward transmitters.
+
+    Parameters
+    ----------
+    sink:
+        Where the hunt starts.
+    relocation_delay:
+        Time the adversary needs to move one hop; transmissions
+        occurring while it is in transit are missed (the classic
+        cautious-adversary assumption).
+    """
+
+    def __init__(self, sink: int, relocation_delay: float = 1.0) -> None:
+        if relocation_delay < 0:
+            raise ValueError(
+                f"relocation delay must be non-negative, got {relocation_delay}"
+            )
+        self.sink = sink
+        self.relocation_delay = float(relocation_delay)
+
+    def hunt(
+        self,
+        transmissions: Sequence[tuple[float, int, int]],
+        target_source: int,
+    ) -> BacktraceOutcome:
+        """Run the hunt over a time-ordered transmission log.
+
+        Parameters
+        ----------
+        transmissions:
+            (time, sender, receiver) triples, sorted by time -- the
+            :attr:`~repro.sim.results.SimulationResult.transmissions`
+            log of a run with ``record_transmissions=True``.
+        target_source:
+            The source node whose location the adversary wants.
+        """
+        position = self.sink
+        busy_until = -float("inf")
+        moves = 0
+        visited = [self.sink]
+        previous_time = -float("inf")
+        for time, sender, receiver in transmissions:
+            if time < previous_time:
+                raise ValueError("transmission log must be sorted by time")
+            previous_time = time
+            if time < busy_until:
+                continue  # still relocating: transmission missed
+            if receiver != position:
+                continue  # out of hearing: only arrivals at its position
+            if sender == position:
+                continue
+            position = sender
+            moves += 1
+            visited.append(sender)
+            busy_until = time + self.relocation_delay
+            if position == target_source:
+                return BacktraceOutcome(
+                    captured=True,
+                    capture_time=time,
+                    moves=moves,
+                    visited=tuple(visited),
+                )
+        return BacktraceOutcome(
+            captured=False, capture_time=None, moves=moves, visited=tuple(visited)
+        )

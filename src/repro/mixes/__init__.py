@@ -1,0 +1,50 @@
+"""Mix-network substrate (paper §6, related work).
+
+The paper's per-node exponential delaying is the sensor-network
+descendant of the anonymity literature it cites: Chaum's mixes,
+threshold/pool mixes (Diaz & Preneel), Kesdogan's **SG-Mix**
+(stop-and-go: each message independently delayed by an exponential)
+and Danezis's proof that the SG-Mix is the entropy-optimal mixing
+strategy.  This subpackage implements those designs so the claim "the
+paper's mechanism is an SG-Mix network" is executable:
+
+* :class:`~repro.mixes.designs.ThresholdMix` -- flush every n messages;
+* :class:`~repro.mixes.designs.TimedMix` -- flush every T time units;
+* :class:`~repro.mixes.designs.PoolMix` -- threshold flush, retaining a
+  random pool;
+* :class:`~repro.mixes.designs.StopAndGoMix` -- i.i.d. Exp(mu) delays,
+  exactly one node of the paper's network;
+
+plus the classical anonymity metric (Serjantov-Danezis entropy of the
+sender anonymity set) and the temporal-privacy metrics of this
+reproduction, so the designs are comparable on both axes
+(:mod:`repro.mixes.metrics`).
+"""
+
+from repro.mixes.designs import (
+    Mix,
+    MixOutput,
+    PoolMix,
+    StopAndGoMix,
+    ThresholdMix,
+    TimedMix,
+)
+from repro.mixes.metrics import (
+    mean_latency,
+    sender_anonymity_entropy,
+    sg_linkage_entropy,
+    temporal_mse,
+)
+
+__all__ = [
+    "Mix",
+    "MixOutput",
+    "ThresholdMix",
+    "TimedMix",
+    "PoolMix",
+    "StopAndGoMix",
+    "sender_anonymity_entropy",
+    "sg_linkage_entropy",
+    "temporal_mse",
+    "mean_latency",
+]

@@ -1,0 +1,204 @@
+"""The classical mix designs, as transforms over arrival sequences.
+
+A mix takes a stream of message arrival times and emits each message at
+some later time, possibly in a different order.  We model each design
+as a deterministic-given-RNG *transform*: ``mix.transform(arrivals,
+rng)`` returns a :class:`MixOutput` carrying, for every input message,
+its departure time and its batch id (which inputs were flushed
+together -- the anonymity set structure the entropy metric needs).
+
+This offline formulation is equivalent to the event-driven one for the
+designs implemented here (none of them reacts to anything but arrivals
+and its own clock) and makes the privacy analysis exact.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MixOutput", "Mix", "ThresholdMix", "TimedMix", "PoolMix", "StopAndGoMix"]
+
+
+@dataclass(frozen=True)
+class MixOutput:
+    """Result of pushing a message stream through a mix.
+
+    Attributes
+    ----------
+    arrival_times:
+        The input times, as given (sorted ascending).
+    departure_times:
+        Departure time of each input message (aligned with
+        ``arrival_times``; not necessarily sorted -- reordering is the
+        point of a mix).
+    batch_ids:
+        For batching mixes, the flush batch each message left in
+        (messages sharing a batch id are mutually indistinguishable to
+        a timing observer).  For the stop-and-go mix every message is
+        its own "batch" (-1-free unique ids) because departures are
+        individually timed.
+    """
+
+    arrival_times: np.ndarray
+    departure_times: np.ndarray
+    batch_ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.arrival_times.size
+        if self.departure_times.size != n or self.batch_ids.size != n:
+            raise ValueError("output arrays must be aligned with inputs")
+        if np.any(self.departure_times < self.arrival_times - 1e-12):
+            raise ValueError("a message cannot depart before it arrives")
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """Per-message mix latency."""
+        return self.departure_times - self.arrival_times
+
+    def batch_members(self, batch_id: int) -> np.ndarray:
+        """Indices of the messages flushed in ``batch_id``."""
+        return np.flatnonzero(self.batch_ids == batch_id)
+
+
+class Mix(abc.ABC):
+    """A mixing strategy."""
+
+    #: short name used in comparison tables
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def transform(self, arrivals: np.ndarray, rng: np.random.Generator) -> MixOutput:
+        """Push ``arrivals`` (sorted times) through the mix."""
+
+    @staticmethod
+    def _check_arrivals(arrivals: np.ndarray) -> np.ndarray:
+        arrivals = np.asarray(arrivals, dtype=float)
+        if arrivals.ndim != 1 or arrivals.size == 0:
+            raise ValueError("need a non-empty 1-D array of arrival times")
+        if np.any(np.diff(arrivals) < 0):
+            raise ValueError("arrival times must be sorted ascending")
+        return arrivals
+
+
+class ThresholdMix(Mix):
+    """Chaum-style threshold mix: flush when ``batch_size`` accumulate.
+
+    All messages of a batch depart together at the batch-completing
+    arrival instant; a timing observer learns only the batch, giving
+    each message an anonymity set of ``batch_size``.  Messages left in
+    a final partial batch are flushed at the last arrival (a common
+    practical policy; otherwise they would wait forever).
+    """
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch_size}")
+        self.batch_size = int(batch_size)
+        self.name = f"threshold({batch_size})"
+
+    def transform(self, arrivals, rng):
+        arrivals = self._check_arrivals(arrivals)
+        n = arrivals.size
+        departures = np.empty(n)
+        batches = np.empty(n, dtype=int)
+        for start in range(0, n, self.batch_size):
+            end = min(start + self.batch_size, n)
+            flush_time = arrivals[end - 1]
+            departures[start:end] = flush_time
+            batches[start:end] = start // self.batch_size
+        return MixOutput(arrivals, departures, batches)
+
+
+class TimedMix(Mix):
+    """Timed mix: flush everything accumulated every ``interval``.
+
+    Messages depart at the first flush tick at or after their arrival;
+    the anonymity set is whatever shares the tick.
+    """
+
+    def __init__(self, interval: float) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self.name = f"timed({interval:g})"
+
+    def transform(self, arrivals, rng):
+        arrivals = self._check_arrivals(arrivals)
+        ticks = np.ceil(arrivals / self.interval).astype(int)
+        # A message arriving exactly on a tick leaves on that tick.
+        on_tick = np.isclose(np.mod(arrivals, self.interval), 0.0)
+        ticks[on_tick] = np.round(arrivals[on_tick] / self.interval).astype(int)
+        ticks = np.maximum(ticks, 1)
+        departures = ticks * self.interval
+        return MixOutput(arrivals, departures, ticks)
+
+
+class PoolMix(Mix):
+    """Pool mix: flush on threshold but retain a random pool.
+
+    When ``batch_size`` messages are present, the mix flushes all but
+    ``pool_size`` uniformly chosen survivors, which stay for later
+    batches -- spreading anonymity across batches at the cost of
+    unbounded worst-case latency.  Any residue is flushed at the final
+    arrival.
+    """
+
+    def __init__(self, batch_size: int, pool_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch_size}")
+        if not 0 <= pool_size < batch_size:
+            raise ValueError(
+                f"pool size must be in [0, batch_size), got {pool_size}"
+            )
+        self.batch_size = int(batch_size)
+        self.pool_size = int(pool_size)
+        self.name = f"pool({batch_size},{pool_size})"
+
+    def transform(self, arrivals, rng):
+        arrivals = self._check_arrivals(arrivals)
+        n = arrivals.size
+        departures = np.full(n, np.nan)
+        batches = np.full(n, -1, dtype=int)
+        pool: list[int] = []
+        batch_id = 0
+        for index in range(n):
+            pool.append(index)
+            if len(pool) >= self.batch_size:
+                keep = set(
+                    rng.choice(len(pool), size=self.pool_size, replace=False).tolist()
+                ) if self.pool_size else set()
+                flushed = [m for i, m in enumerate(pool) if i not in keep]
+                pool = [m for i, m in enumerate(pool) if i in keep]
+                departures[flushed] = arrivals[index]
+                batches[flushed] = batch_id
+                batch_id += 1
+        if pool:
+            departures[pool] = arrivals[-1]
+            batches[pool] = batch_id
+        return MixOutput(arrivals, departures, batches)
+
+
+class StopAndGoMix(Mix):
+    """Kesdogan's SG-Mix: i.i.d. Exp(1/mean_delay) per-message delays.
+
+    Exactly the paper's per-node mechanism (Section 3.1); Danezis
+    (PET 2004) proved it the optimal mix strategy for a given mean
+    delay.  Departures are individually timed, so each message gets a
+    unique batch id.
+    """
+
+    def __init__(self, mean_delay: float) -> None:
+        if mean_delay <= 0:
+            raise ValueError(f"mean delay must be positive, got {mean_delay}")
+        self.mean_delay = float(mean_delay)
+        self.name = f"stop-and-go({mean_delay:g})"
+
+    def transform(self, arrivals, rng):
+        arrivals = self._check_arrivals(arrivals)
+        delays = rng.exponential(self.mean_delay, size=arrivals.size)
+        return MixOutput(
+            arrivals, arrivals + delays, np.arange(arrivals.size, dtype=int)
+        )

@@ -1,0 +1,72 @@
+"""Link models: how long a transmission takes, and whether it arrives.
+
+The paper's simulator "simplified the PHY- and MAC-level protocols by
+adopting a constant transmission delay (i.e. 1 time unit) from any node
+to its neighbors" (Section 5.2).  :class:`ConstantDelayLink` is that
+model; :class:`LossyLink` adds i.i.d. loss as an extension used in the
+robustness experiments (packet loss perturbs the adversary's timing
+picture too, so it interacts with temporal privacy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ConstantDelayLink", "LossyLink"]
+
+
+class ConstantDelayLink:
+    """A link with fixed transmission delay and no loss.
+
+    Parameters
+    ----------
+    delay:
+        tau, the per-hop transmission time (1 time unit in the paper).
+    """
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.delay = float(delay)
+
+    def transmission_delay(self) -> float:
+        """Delay of the next transmission."""
+        return self.delay
+
+    def delivers(self) -> bool:
+        """Whether the next transmission is delivered (always True)."""
+        return True
+
+
+class LossyLink(ConstantDelayLink):
+    """A constant-delay link dropping each packet independently.
+
+    Parameters
+    ----------
+    delay:
+        Per-hop transmission time.
+    loss_probability:
+        Probability an individual transmission is lost.
+    rng:
+        Random stream for the loss coin flips.
+    """
+
+    def __init__(
+        self,
+        delay: float,
+        loss_probability: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(delay)
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss probability must be in [0, 1), got {loss_probability}"
+            )
+        self.loss_probability = float(loss_probability)
+        self._rng = rng
+
+    def delivers(self) -> bool:
+        """One Bernoulli trial: True if the packet survives the hop."""
+        if self.loss_probability == 0.0:
+            return True
+        return bool(self._rng.random() >= self.loss_probability)

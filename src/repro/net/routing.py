@@ -1,0 +1,147 @@
+"""Routing trees toward the sink.
+
+Sensor networks route convergecast traffic over a spanning tree rooted
+at the sink ("each message is routed in a hop-by-hop manner based on a
+routing tree", Section 4).  Two constructions:
+
+* :func:`shortest_path_tree` -- BFS/Dijkstra tree over any deployment's
+  connectivity graph (ties broken deterministically by node id), the
+  general-purpose router;
+* :func:`greedy_grid_tree` -- the deterministic "staircase" router for
+  grid deployments: step toward the sink along the axis with the larger
+  remaining distance (ties step in x).  On the paper topology this
+  makes the four flows merge progressively into a shared trunk, the
+  behaviour Figure 1 depicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import networkx as nx
+
+from repro.net.topology import Deployment
+
+__all__ = ["RoutingTree", "shortest_path_tree", "greedy_grid_tree"]
+
+
+@dataclass(frozen=True)
+class RoutingTree:
+    """A spanning tree of next-hop pointers toward the sink.
+
+    Attributes
+    ----------
+    parent:
+        Mapping node id -> next hop toward the sink.  The sink itself
+        is absent from the mapping.
+    sink:
+        The root of the tree.
+    """
+
+    parent: Mapping[int, int]
+    sink: int
+
+    def __post_init__(self) -> None:
+        if self.sink in self.parent:
+            raise ValueError("the sink must not have a parent")
+        for node in self.parent:
+            # Walk to the root; a cycle would loop forever, so bound it.
+            current = node
+            for _ in range(len(self.parent) + 1):
+                current = self.parent.get(current, self.sink)
+                if current == self.sink:
+                    break
+            else:
+                raise ValueError(f"node {node} cannot reach the sink (cycle?)")
+
+    def next_hop(self, node: int) -> int:
+        """The node ``node`` forwards to."""
+        if node == self.sink:
+            raise ValueError("the sink does not forward")
+        try:
+            return self.parent[node]
+        except KeyError:
+            raise KeyError(f"node {node} is not in the routing tree")
+
+    def path(self, source: int) -> list[int]:
+        """Nodes from ``source`` to the sink inclusive."""
+        nodes = [source]
+        while nodes[-1] != self.sink:
+            nodes.append(self.next_hop(nodes[-1]))
+        return nodes
+
+    def hop_count(self, source: int) -> int:
+        """Number of transmissions from ``source`` to the sink.
+
+        This is the h_i the adversary reads out of the cleartext
+        header's hop-count field.
+        """
+        return len(self.path(source)) - 1
+
+    def children_map(self) -> dict[int, list[int]]:
+        """Inverse of ``parent``: node -> nodes forwarding into it."""
+        children: dict[int, list[int]] = {}
+        for child, par in self.parent.items():
+            children.setdefault(par, []).append(child)
+        for nodes in children.values():
+            nodes.sort()
+        return children
+
+    def nodes_on_flows(self, sources: list[int]) -> set[int]:
+        """All nodes participating in the given flows (excluding sink)."""
+        involved: set[int] = set()
+        for source in sources:
+            involved.update(self.path(source)[:-1])
+        return involved
+
+
+def shortest_path_tree(deployment: Deployment) -> RoutingTree:
+    """BFS shortest-path tree over the connectivity graph.
+
+    Ties between equally short parents are broken toward the smaller
+    node id so that routing is deterministic across runs.
+    """
+    graph = deployment.connectivity_graph()
+    if not deployment.is_connected():
+        raise ValueError("deployment is not connected; cannot route every node")
+    distances = nx.single_source_shortest_path_length(graph, deployment.sink)
+    parent: dict[int, int] = {}
+    for node in deployment.node_ids:
+        if node == deployment.sink:
+            continue
+        candidates = [
+            neighbor
+            for neighbor in graph.neighbors(node)
+            if distances[neighbor] == distances[node] - 1
+        ]
+        parent[node] = min(candidates)
+    return RoutingTree(parent=parent, sink=deployment.sink)
+
+
+def greedy_grid_tree(deployment: Deployment, width: int) -> RoutingTree:
+    """Deterministic staircase routing on a grid deployment.
+
+    Each node steps toward the sink's corner along the axis with the
+    larger remaining distance; on a tie it steps in x.  Produces the
+    progressive-merge structure of the paper's Figure 1: flows from
+    deeper in the grid join the diagonal trunk and share all remaining
+    hops.  Hop counts equal Manhattan distances, as with any shortest
+    -path grid routing.
+    """
+    sink_x, sink_y = deployment.positions[deployment.sink]
+    parent: dict[int, int] = {}
+    for node, (x, y) in deployment.positions.items():
+        if node == deployment.sink:
+            continue
+        dx = x - sink_x
+        dy = y - sink_y
+        if abs(dx) >= abs(dy) and dx != 0:
+            step = (-1 if dx > 0 else 1, 0)
+        elif dy != 0:
+            step = (0, -1 if dy > 0 else 1)
+        else:  # pragma: no cover - co-located with sink but not the sink
+            raise ValueError(f"node {node} is co-located with the sink")
+        next_x, next_y = int(x + step[0]), int(y + step[1])
+        parent[node] = next_y * width + next_x
+    return RoutingTree(parent=parent, sink=deployment.sink)

@@ -1,0 +1,94 @@
+"""Deployment and routing-tree serialization (JSON).
+
+Reproducible experiments need their topologies to be shareable
+artifacts, not just code paths: a deployment generated randomly today
+must be reloadable bit-for-bit next year.  Round-trippable JSON for
+:class:`~repro.net.topology.Deployment` and
+:class:`~repro.net.routing.RoutingTree`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.net.routing import RoutingTree
+from repro.net.topology import Deployment
+
+__all__ = [
+    "deployment_to_json",
+    "deployment_from_json",
+    "routing_tree_to_json",
+    "routing_tree_from_json",
+]
+
+_DEPLOYMENT_FORMAT = "repro/deployment/v1"
+_TREE_FORMAT = "repro/routing-tree/v1"
+
+
+def deployment_to_json(deployment: Deployment) -> str:
+    """Serialize a deployment (positions, sink, range, labels)."""
+    return json.dumps(
+        {
+            "format": _DEPLOYMENT_FORMAT,
+            "sink": deployment.sink,
+            "radio_range": deployment.radio_range,
+            "positions": {
+                str(node): [x, y] for node, (x, y) in deployment.positions.items()
+            },
+            "labels": dict(deployment.labels),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def deployment_from_json(text: str) -> Deployment:
+    """Inverse of :func:`deployment_to_json`.
+
+    Raises
+    ------
+    ValueError
+        If the document is not a v1 deployment.
+    """
+    payload = json.loads(text)
+    if payload.get("format") != _DEPLOYMENT_FORMAT:
+        raise ValueError(
+            f"not a {_DEPLOYMENT_FORMAT} document: format="
+            f"{payload.get('format')!r}"
+        )
+    positions = {
+        int(node): (float(x), float(y))
+        for node, (x, y) in payload["positions"].items()
+    }
+    return Deployment(
+        positions=positions,
+        sink=int(payload["sink"]),
+        radio_range=float(payload["radio_range"]),
+        labels={str(k): int(v) for k, v in payload.get("labels", {}).items()},
+    )
+
+
+def routing_tree_to_json(tree: RoutingTree) -> str:
+    """Serialize a routing tree (parent pointers + sink)."""
+    return json.dumps(
+        {
+            "format": _TREE_FORMAT,
+            "sink": tree.sink,
+            "parent": {str(child): parent for child, parent in tree.parent.items()},
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def routing_tree_from_json(text: str) -> RoutingTree:
+    """Inverse of :func:`routing_tree_to_json` (revalidates the tree)."""
+    payload = json.loads(text)
+    if payload.get("format") != _TREE_FORMAT:
+        raise ValueError(
+            f"not a {_TREE_FORMAT} document: format={payload.get('format')!r}"
+        )
+    return RoutingTree(
+        parent={int(child): int(parent) for child, parent in payload["parent"].items()},
+        sink=int(payload["sink"]),
+    )

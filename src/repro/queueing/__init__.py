@@ -1,0 +1,59 @@
+"""Analytic queueing theory used by the paper's buffer analysis.
+
+Section 4 of the paper models privacy buffering as queues:
+
+* a node delaying each packet independently for Exp(mu) time is an
+  **M/M/infinity** queue -- occupancy is Poisson with mean
+  ``rho = lambda/mu`` (:mod:`repro.queueing.mminf`);
+* a resource-limited node with ``k`` buffer slots is an **M/M/k/k**
+  queue -- the drop probability is the **Erlang loss formula**
+  ``E(rho, k)`` (:mod:`repro.queueing.erlang`,
+  :mod:`repro.queueing.mmkk`);
+* along a routing path, Burke's theorem makes the tandem of queues
+  tractable, and Poisson superposition aggregates merging flows in the
+  routing tree (:mod:`repro.queueing.tandem`);
+* Kleinrock's independence approximation justifies keeping the Poisson
+  model after drops (:func:`repro.queueing.tandem.kleinrock_note`).
+
+:mod:`repro.queueing.simq` additionally provides direct discrete-event
+simulations of these queues on :mod:`repro.des`, used by the validation
+benchmarks to show the closed forms and the simulator agree.
+"""
+
+from repro.queueing.erlang import (
+    erlang_b,
+    erlang_b_inverse_capacity,
+    mu_for_target_loss,
+    offered_load_for_target_loss,
+)
+from repro.queueing.mminf import MMInfinityQueue
+from repro.queueing.mmkk import MMkkQueue
+from repro.queueing.poisson import (
+    PoissonProcess,
+    merge_poisson_rates,
+    sample_poisson_arrivals,
+    thin_poisson_rate,
+)
+from repro.queueing.rcad_model import RcadNodeModel, predicted_rcad_path_latency
+from repro.queueing.tandem import QueueTreeModel, TandemPathModel, kleinrock_note
+from repro.queueing.simq import SimulatedMMInfinity, SimulatedMMkk
+
+__all__ = [
+    "erlang_b",
+    "erlang_b_inverse_capacity",
+    "mu_for_target_loss",
+    "offered_load_for_target_loss",
+    "MMInfinityQueue",
+    "MMkkQueue",
+    "PoissonProcess",
+    "sample_poisson_arrivals",
+    "merge_poisson_rates",
+    "thin_poisson_rate",
+    "QueueTreeModel",
+    "TandemPathModel",
+    "kleinrock_note",
+    "RcadNodeModel",
+    "predicted_rcad_path_latency",
+    "SimulatedMMInfinity",
+    "SimulatedMMkk",
+]

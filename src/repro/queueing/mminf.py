@@ -1,0 +1,123 @@
+"""M/M/infinity queue: the unlimited-buffer privacy-delay model.
+
+When every arriving packet is held for an independent Exp(mu) delay and
+buffer space is unbounded, each packet effectively gets its own
+"variable-delay server" -- the buffering process *is* an M/M/infinity
+queue (paper, Section 4).  Standard results, all exposed here:
+
+* steady-state occupancy N is Poisson with mean rho = lambda/mu:
+  ``p_k = rho^k e^{-rho} / k!``;
+* sojourn time equals the service time, Exp(mu) -- no waiting;
+* the departure process is Poisson(lambda) (Burke's theorem), which is
+  what makes the tandem/tree analysis of Section 4 compose.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["MMInfinityQueue"]
+
+
+@dataclass(frozen=True)
+class MMInfinityQueue:
+    """Analytic M/M/infinity queue.
+
+    Parameters
+    ----------
+    arrival_rate:
+        lambda, the Poisson input rate.
+    service_rate:
+        mu, the reciprocal of the mean privacy delay 1/mu.
+
+    Examples
+    --------
+    >>> q = MMInfinityQueue(arrival_rate=0.5, service_rate=1 / 30)
+    >>> q.offered_load           # rho = lambda/mu = expected occupancy
+    15.0
+    >>> round(q.occupancy_pmf(15), 4)
+    0.1024
+    """
+
+    arrival_rate: float
+    service_rate: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival rate must be non-negative, got {self.arrival_rate}")
+        if self.service_rate <= 0:
+            raise ValueError(f"service rate must be positive, got {self.service_rate}")
+
+    # ------------------------------------------------------------------
+    @property
+    def offered_load(self) -> float:
+        """rho = lambda / mu, also the mean occupancy."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def mean_occupancy(self) -> float:
+        """E[N] = rho (Poisson mean)."""
+        return self.offered_load
+
+    @property
+    def occupancy_variance(self) -> float:
+        """Var[N] = rho (Poisson variance)."""
+        return self.offered_load
+
+    @property
+    def mean_sojourn(self) -> float:
+        """Mean time a packet spends buffered: exactly 1/mu."""
+        return 1.0 / self.service_rate
+
+    # ------------------------------------------------------------------
+    def occupancy_pmf(self, k: int) -> float:
+        """P(N = k) = rho^k e^{-rho} / k! (paper, Section 4)."""
+        if k < 0:
+            return 0.0
+        rho = self.offered_load
+        if rho == 0:
+            return 1.0 if k == 0 else 0.0
+        return math.exp(k * math.log(rho) - rho - math.lgamma(k + 1))
+
+    def occupancy_cdf(self, k: int) -> float:
+        """P(N <= k)."""
+        if k < 0:
+            return 0.0
+        return float(sum(self.occupancy_pmf(i) for i in range(k + 1)))
+
+    def occupancy_quantile(self, q: float) -> int:
+        """Smallest k with P(N <= k) >= q: a buffer-sizing helper."""
+        if not 0.0 <= q < 1.0:
+            raise ValueError(f"quantile must be in [0, 1), got {q}")
+        cumulative = 0.0
+        k = 0
+        while True:
+            cumulative += self.occupancy_pmf(k)
+            if cumulative >= q:
+                return k
+            k += 1
+            if k > 10_000_000:  # pragma: no cover - guard
+                raise RuntimeError("quantile search did not converge")
+
+    def transient_mean_occupancy(self, t: float, initial: int = 0) -> float:
+        """E[N(t)] starting from ``initial`` packets at t = 0.
+
+        The M/M/infinity transient is exact:
+        ``E[N(t)] = rho (1 - e^{-mu t}) + initial * e^{-mu t}``.
+        Used in tests to check the simulated warm-up behaviour.
+        """
+        if t < 0:
+            raise ValueError(f"time must be non-negative, got {t}")
+        decay = math.exp(-self.service_rate * t)
+        return self.offered_load * (1.0 - decay) + initial * decay
+
+    def sojourn_pdf(self, y: float) -> float:
+        """Density of the per-packet delay: Exp(mu)."""
+        if y < 0:
+            return 0.0
+        return self.service_rate * math.exp(-self.service_rate * y)
+
+    def departure_rate(self) -> float:
+        """Steady-state output rate: Poisson(lambda) by Burke's theorem."""
+        return self.arrival_rate

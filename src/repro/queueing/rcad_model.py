@@ -1,0 +1,175 @@
+"""Analytic model of an RCAD node (beyond the paper's analysis).
+
+The paper analyzes drop-tail M/M/k/k buffers and evaluates RCAD only
+by simulation.  But an RCAD node admits an exact occupancy analysis:
+
+* in states n < k, arrivals (rate lambda) move n -> n+1 and timer
+  expiries (rate n mu) move n -> n-1, exactly as in M/M/k/k;
+* in state k, an arrival preempts a victim and admits the newcomer --
+  one packet in, one packet out, the state *stays* k, exactly as a
+  blocked arrival leaves M/M/k/k in state k.
+
+*Provided the victim is chosen independently of the residual timers*
+(random, oldest-arrival, newest-arrival policies), memorylessness
+keeps the remaining timers i.i.d. Exp(mu) after a preemption and the
+occupancy CTMC is *identical* to M/M/k/k: stationary occupancy is the
+truncated Poisson, and P{N = k} = E(rho, k), the Erlang loss
+probability (which for RCAD is the *preemption* probability seen by
+arrivals, via PASTA).
+
+Consequences the paper leaves on the table, implemented here:
+
+1. **Mean per-hop RCAD delay in closed form.**  Every arrival enters
+   the buffer (nothing is dropped), so Little's law with the full
+   arrival rate gives ::
+
+       E[T] = E[N] / lambda = rho (1 - E(rho,k)) / lambda
+            = (1 - E(rho, k)) / mu
+
+   It interpolates exactly between the advertised mean 1/mu (light
+   load, E -> 0) and the saturated drain time k/lambda (heavy load,
+   1 - E -> k/rho).  Summed along a path this *predicts the Figure
+   2(b) RCAD curve analytically* -- validated in the benchmark.
+
+2. **The paper's shortest-remaining policy runs slightly slower.**
+   Preempting the minimum residual leaves the other k-1 residuals
+   stochastically *larger* than fresh exponentials (they are each
+   distributed as min + Exp(mu)), deferring natural expiries, so the
+   closed form is a mild under-estimate for shortest-remaining:
+   measured ~11% at the paper's single-flow operating point
+   (rho = 15, k = 10), exact (within simulation noise) for the
+   residual-independent policies.  The unit tests pin down both
+   statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.net.routing import RoutingTree
+from repro.queueing.erlang import erlang_b
+from repro.queueing.mmkk import MMkkQueue
+from repro.queueing.tandem import QueueTreeModel
+
+__all__ = ["RcadNodeModel", "predicted_rcad_path_latency"]
+
+
+@dataclass(frozen=True)
+class RcadNodeModel:
+    """Closed-form single-node RCAD model.
+
+    Parameters
+    ----------
+    arrival_rate:
+        lambda, the aggregate Poisson rate entering the node.
+    service_rate:
+        mu, the reciprocal of the advertised mean delay.
+    capacity:
+        k buffer slots.
+
+    Examples
+    --------
+    >>> node = RcadNodeModel(arrival_rate=2.0, service_rate=1 / 30, capacity=10)
+    >>> node.preemption_probability > 0.8    # deep saturation
+    True
+    >>> 4.9 < node.mean_delay < 5.1          # ~ k / lambda = 5
+    True
+    """
+
+    arrival_rate: float
+    service_rate: float
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {self.arrival_rate}")
+        if self.service_rate <= 0:
+            raise ValueError(f"service rate must be positive, got {self.service_rate}")
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {self.capacity}")
+
+    # ------------------------------------------------------------------
+    @property
+    def offered_load(self) -> float:
+        """rho = lambda / mu."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def preemption_probability(self) -> float:
+        """Probability an arrival triggers a preemption: E(rho, k).
+
+        Same formula as M/M/k/k blocking, but the packet is *admitted*
+        (a victim leaves instead) -- RCAD turns loss into early release.
+        """
+        return erlang_b(self.offered_load, self.capacity)
+
+    @property
+    def mean_occupancy(self) -> float:
+        """E[N] = rho (1 - E(rho, k)): truncated-Poisson mean."""
+        return self.offered_load * (1.0 - self.preemption_probability)
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean buffering delay: (1 - E(rho, k)) / mu, by Little's law.
+
+        Interpolates from 1/mu (light load) down to k/lambda
+        (saturation); this is the "effective mu adjustment" of the
+        paper's Section 5, in closed form.
+        """
+        return (1.0 - self.preemption_probability) / self.service_rate
+
+    @property
+    def throughput(self) -> float:
+        """Departure rate: exactly lambda (RCAD never drops)."""
+        return self.arrival_rate
+
+    def occupancy_pmf(self, n: int) -> float:
+        """P{N = n}: identical to the M/M/k/k truncated Poisson."""
+        return MMkkQueue(
+            arrival_rate=self.arrival_rate,
+            service_rate=self.service_rate,
+            capacity=self.capacity,
+        ).occupancy_pmf(n)
+
+    def saturated_drain_time(self) -> float:
+        """k / lambda: the heavy-load limit of :attr:`mean_delay`."""
+        return self.capacity / self.arrival_rate
+
+
+def predicted_rcad_path_latency(
+    tree: RoutingTree,
+    flow_rates: Mapping[int, float],
+    source: int,
+    mean_delay: float,
+    capacity: int,
+    transmission_delay: float = 1.0,
+) -> float:
+    """Closed-form prediction of a flow's mean end-to-end RCAD latency.
+
+    Sums ``tau + (1 - E(rho_v, k)) / mu`` over the buffering nodes of
+    ``source``'s path, with each node's aggregate rate ``lambda_v``
+    from the queueing tree model (superposition).  The Poisson
+    assumption is an approximation for the paper's periodic sources;
+    the Figure 2(b) benchmark shows it lands within ~20% of simulation
+    across the whole sweep.
+    """
+    if mean_delay <= 0:
+        raise ValueError(f"mean delay must be positive, got {mean_delay}")
+    model = QueueTreeModel(
+        parent=dict(tree.parent),
+        injection_rates=dict(flow_rates),
+        default_service_rate=1.0 / mean_delay,
+    )
+    mu = 1.0 / mean_delay
+    total = 0.0
+    for node in tree.path(source)[:-1]:
+        rate = model.arrival_rate(node)
+        if rate <= 0:
+            total += transmission_delay + mean_delay
+            continue
+        node_model = RcadNodeModel(
+            arrival_rate=rate, service_rate=mu, capacity=capacity
+        )
+        total += transmission_delay + node_model.mean_delay
+    return total

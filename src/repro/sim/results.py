@@ -1,0 +1,110 @@
+"""Simulation outputs: delivery logs, node statistics, drop records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import PacketRecord
+from repro.net.packet import PacketObservation
+from repro.sim.tracing import PacketTrace
+
+__all__ = ["NodeStats", "DroppedPacket", "SimulationResult"]
+
+
+@dataclass
+class NodeStats:
+    """Per-node buffer statistics over one run."""
+
+    node_id: int
+    admitted: int = 0
+    dropped: int = 0
+    preemptions: int = 0
+    peak_occupancy: int = 0
+    occupancy_time_integral: float = 0.0
+    observation_time: float = 0.0
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Time-averaged buffer occupancy (packets)."""
+        if self.observation_time <= 0:
+            return 0.0
+        return self.occupancy_time_integral / self.observation_time
+
+
+@dataclass(frozen=True)
+class DroppedPacket:
+    """A packet lost to a full drop-tail buffer."""
+
+    flow_id: int
+    packet_id: int
+    created_at: float
+    dropped_at: float
+    dropped_by: int
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced.
+
+    ``observations`` and ``records`` are aligned index-by-index and
+    sorted by arrival time: ``observations[i]`` is the adversary's view
+    of the packet whose ground truth is ``records[i]``.  Keeping both
+    in the interleaved arrival order preserves exactly what a stateful
+    (adaptive) adversary gets to see.
+    """
+
+    observations: list[PacketObservation] = field(default_factory=list)
+    records: list[PacketRecord] = field(default_factory=list)
+    node_stats: dict[int, NodeStats] = field(default_factory=dict)
+    dropped: list[DroppedPacket] = field(default_factory=list)
+    transmissions: list[tuple[float, int, int]] = field(default_factory=list)
+    """Per-hop transmission log as (time, sender, receiver), recorded
+    only when the configuration sets ``record_transmissions=True``."""
+    packet_traces: dict[tuple[int, int], "PacketTrace"] = field(default_factory=dict)
+    """(flow_id, packet_id) -> lifecycle trace, recorded only when the
+    configuration sets ``record_packet_traces=True``."""
+    lost_in_transit: int = 0
+    end_time: float = 0.0
+    events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    def flow_ids(self) -> list[int]:
+        """Distinct flow ids present in the delivery log."""
+        return sorted({record.flow_id for record in self.records})
+
+    def flow_indices(self, flow_id: int) -> list[int]:
+        """Positions of one flow's packets within the arrival order."""
+        return [i for i, record in enumerate(self.records) if record.flow_id == flow_id]
+
+    def flow_records(self, flow_id: int) -> list[PacketRecord]:
+        """One flow's delivered packets, in arrival order."""
+        return [r for r in self.records if r.flow_id == flow_id]
+
+    def flow_observations(self, flow_id: int) -> list[PacketObservation]:
+        """One flow's observations, in arrival order."""
+        return [
+            self.observations[i] for i in self.flow_indices(flow_id)
+        ]
+
+    def delivered_count(self, flow_id: int | None = None) -> int:
+        """Packets delivered (optionally restricted to one flow)."""
+        if flow_id is None:
+            return len(self.records)
+        return len(self.flow_records(flow_id))
+
+    def drop_count(self, flow_id: int | None = None) -> int:
+        """Packets dropped (optionally restricted to one flow)."""
+        if flow_id is None:
+            return len(self.dropped)
+        return sum(1 for d in self.dropped if d.flow_id == flow_id)
+
+    def total_preemptions(self) -> int:
+        """Preemption events across all nodes."""
+        return sum(stats.preemptions for stats in self.node_stats.values())
+
+    def mean_latency(self, flow_id: int | None = None) -> float:
+        """Average end-to-end latency, over all or one flow's packets."""
+        records = self.records if flow_id is None else self.flow_records(flow_id)
+        if not records:
+            raise ValueError(f"no delivered packets for flow {flow_id!r}")
+        return float(sum(r.latency for r in records) / len(records))

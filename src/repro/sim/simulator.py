@@ -1,0 +1,333 @@
+"""The sensor-network simulator: nodes, buffers, links, sink, adversary tap.
+
+Execution model (paper §5):
+
+1. each source's traffic model fixes its packets' creation times; at
+   each creation time the source builds a packet (cleartext routing
+   header + sealed payload) and offers it to *its own* buffer -- the
+   source buffers too (the Y_0j term of Section 3.3);
+2. a buffering node draws the packet's artificial delay from the delay
+   plan and offers it to its buffer discipline; admitted packets are
+   scheduled for release when the delay expires; under RCAD a full
+   buffer instead preempts a victim, whose pending release is
+   cancelled and which is transmitted immediately;
+3. a released packet is transmitted to the node's routing parent,
+   arriving one transmission delay (tau) later with the hop count
+   incremented;
+4. at the sink, the packet is delivered: the adversary tap records the
+   cleartext observation, the ground-truth log records the true
+   creation time (cross-checked against the decrypted payload when
+   sealing is enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.buffers import (
+    AdmissionOutcome,
+    DropTailBuffer,
+    InfiniteBuffer,
+    PacketBuffer,
+    RcadBuffer,
+)
+from repro.core.metrics import PacketRecord
+from repro.crypto.keys import KeyManager
+from repro.crypto.payload import PayloadCodec, SensorReading
+from repro.des import RngRegistry, Simulator
+from repro.net.link import ConstantDelayLink, LossyLink
+from repro.net.packet import Packet, RoutingHeader
+from repro.sim.config import SimulationConfig
+from repro.sim.results import DroppedPacket, NodeStats, SimulationResult
+
+__all__ = ["SensorNetworkSimulator"]
+
+# Fixed demo master key: simulations are experiments, not secure systems.
+_MASTER_KEY = bytes(range(16))
+
+
+@dataclass
+class _TransitPacket:
+    """A packet in flight, plus simulator-side bookkeeping."""
+
+    packet: Packet
+    preemptions: int = 0
+
+
+@dataclass
+class _NodeState:
+    """Runtime state of one buffering node."""
+
+    buffer: PacketBuffer
+    stats: NodeStats
+    last_occupancy_change: float = 0.0
+
+    def track_occupancy(self, now: float, occupancy_before: int) -> None:
+        elapsed = now - self.last_occupancy_change
+        if elapsed > 0:
+            self.stats.occupancy_time_integral += occupancy_before * elapsed
+        self.last_occupancy_change = now
+
+
+class SensorNetworkSimulator:
+    """Runs one :class:`~repro.sim.config.SimulationConfig` to completion.
+
+    Examples
+    --------
+    >>> from repro.sim import SimulationConfig
+    >>> config = SimulationConfig.paper_baseline(
+    ...     interarrival=10.0, case="no-delay", n_packets=5)
+    >>> result = SensorNetworkSimulator(config).run()
+    >>> result.delivered_count()
+    20
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self._sim = Simulator()
+        self._rng = RngRegistry(config.seed)
+        self._result = SimulationResult()
+        self._nodes: dict[int, _NodeState] = {}
+        self._codec = (
+            PayloadCodec(KeyManager(_MASTER_KEY)) if config.seal_payloads else None
+        )
+        if config.link_loss_probability > 0:
+            self._link = LossyLink(
+                delay=config.transmission_delay,
+                loss_probability=config.link_loss_probability,
+                rng=self._rng.stream("link-loss"),
+            )
+        else:
+            self._link = ConstantDelayLink(delay=config.transmission_delay)
+        if config.routing_policy is not None:
+            self._routing = config.routing_policy
+        else:
+            from repro.location.policies import TreeRoutingPolicy
+
+            self._routing = TreeRoutingPolicy(config.tree)
+        self.lost_in_transit = 0
+        self._next_routing_seq = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the simulation; idempotent guard against reuse."""
+        if self._ran:
+            raise RuntimeError("simulator instances are single-use; build a new one")
+        self._ran = True
+        self._schedule_creations()
+        self._sim.run_until(self.config.max_sim_time)
+        if self._sim.peek() != float("inf"):
+            raise RuntimeError(
+                f"simulation exceeded max_sim_time={self.config.max_sim_time:g}; "
+                "events still pending"
+            )
+        self._finalize()
+        return self._result
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def _schedule_creations(self) -> None:
+        for flow in self.config.flows:
+            stream = self._rng.stream(f"traffic/flow-{flow.flow_id}")
+            times = flow.traffic.creation_times(flow.n_packets, stream)
+            for packet_index, created_at in enumerate(times):
+                self._sim.schedule(
+                    float(created_at), self._on_created, flow, packet_index
+                )
+
+    def _node_state(self, node: int) -> _NodeState:
+        state = self._nodes.get(node)
+        if state is None:
+            state = _NodeState(
+                buffer=self._make_buffer(),
+                stats=NodeStats(node_id=node),
+                last_occupancy_change=self._sim.now,
+            )
+            self._nodes[node] = state
+        return state
+
+    def _make_buffer(self) -> PacketBuffer:
+        spec = self.config.buffers
+        if spec.kind == "infinite":
+            return InfiniteBuffer()
+        if spec.kind == "drop-tail":
+            assert spec.capacity is not None  # validated by BufferSpec
+            return DropTailBuffer(capacity=spec.capacity)
+        assert spec.capacity is not None  # validated by BufferSpec
+        return RcadBuffer(capacity=spec.capacity, victim_policy=spec.victim_policy)
+
+    # ------------------------------------------------------------------
+    # packet lifecycle
+    # ------------------------------------------------------------------
+    def _trace(self, transit: _TransitPacket, kind: str, node: int, detail=None) -> None:
+        if not self.config.record_packet_traces:
+            return
+        from repro.sim.tracing import PacketTrace
+
+        key = (transit.packet.flow_id, transit.packet.packet_id)
+        trace = self._result.packet_traces.get(key)
+        if trace is None:
+            trace = PacketTrace(flow_id=key[0], packet_id=key[1])
+            self._result.packet_traces[key] = trace
+        trace.add(self._sim.now, kind, node, detail)
+
+    def _on_created(self, flow, packet_index: int) -> None:
+        created_at = self._sim.now
+        source = flow.source
+        if self._codec is not None:
+            reading_value = float(
+                self._rng.stream(f"readings/flow-{flow.flow_id}").normal()
+            )
+            payload = self._codec.seal(
+                source,
+                SensorReading(
+                    created_at=created_at, app_seq=packet_index, value=reading_value
+                ),
+            )
+        else:
+            payload = None
+        header = RoutingHeader(
+            previous_hop=source,
+            origin=source,
+            routing_seq=self._next_routing_seq,
+            hop_count=0,
+        )
+        self._next_routing_seq += 1
+        packet = Packet(
+            header=header,
+            payload=payload,
+            flow_id=flow.flow_id,
+            created_at=created_at,
+            packet_id=packet_index,
+        )
+        self._routing.first_hop_state((flow.flow_id, packet_index))
+        transit = _TransitPacket(packet)
+        self._trace(transit, "created", source)
+        self._handle_at_node(source, transit)
+
+    def _handle_at_node(self, node: int, transit: _TransitPacket) -> None:
+        """A packet materializes at ``node`` (created here or received)."""
+        if node == self.config.deployment.sink:
+            self._deliver(transit)
+            return
+        if self.config.delay_plan is None:
+            # Case 1, no privacy delays: forward as soon as received.
+            self._transmit(node, transit)
+            return
+        delay = self.config.delay_plan.distribution_for(node).sample(
+            self._rng.stream(f"delay/node-{node}")
+        )
+        self._buffer_packet(node, transit, delay)
+
+    def _buffer_packet(self, node: int, transit: _TransitPacket, delay: float) -> None:
+        state = self._node_state(node)
+        now = self._sim.now
+        occupancy_before = state.buffer.occupancy
+        result = state.buffer.offer(
+            payload=transit,
+            arrival_time=now,
+            release_time=now + delay,
+            rng=self._rng.stream(f"victim/node-{node}"),
+        )
+        state.track_occupancy(now, occupancy_before)
+        if result.outcome is AdmissionOutcome.DROPPED:
+            state.stats.dropped += 1
+            self._trace(transit, "dropped", node)
+            self._result.dropped.append(
+                DroppedPacket(
+                    flow_id=transit.packet.flow_id,
+                    packet_id=transit.packet.packet_id,
+                    created_at=transit.packet.created_at,
+                    dropped_at=now,
+                    dropped_by=node,
+                )
+            )
+            return
+        state.stats.admitted += 1
+        assert result.entry is not None  # admitted implies an entry exists
+        entry = result.entry
+        self._trace(transit, "buffered", node, detail=entry.release_time)
+        entry.context = self._sim.schedule(
+            entry.release_time, self._on_release, node, entry.entry_id
+        )
+        if result.victim is not None:
+            state.stats.preemptions += 1
+            victim = result.victim
+            if victim.context is not None:
+                victim.context.cancel()
+            victim_transit: _TransitPacket = victim.payload
+            victim_transit.preemptions += 1
+            self._trace(
+                victim_transit, "preempted", node, detail=victim.release_time
+            )
+            # The victim leaves the buffer *now*: it was already removed
+            # from the buffer's entry table by the admission; transmit it.
+            self._transmit(node, victim_transit)
+
+    def _on_release(self, node: int, entry_id: int) -> None:
+        state = self._node_state(node)
+        occupancy_before = state.buffer.occupancy
+        entry = state.buffer.release(entry_id)
+        state.track_occupancy(self._sim.now, occupancy_before)
+        self._transmit(node, entry.payload)
+
+    def _transmit(self, node: int, transit: _TransitPacket) -> None:
+        packet_key = (transit.packet.flow_id, transit.packet.packet_id)
+        next_hop = self._routing.next_hop(
+            node, packet_key, self._rng.stream("routing")
+        )
+        transit.packet.header = transit.packet.header.forwarded(by_node=node)
+        if self.config.record_transmissions:
+            self._result.transmissions.append((self._sim.now, node, next_hop))
+        self._trace(transit, "forwarded", node, detail=next_hop)
+        if not self._link.delivers():
+            # Lost on the air: the packet vanishes mid-path (no
+            # link-layer retransmission in this model).
+            self.lost_in_transit += 1
+            self._trace(transit, "lost", node)
+            return
+        self._sim.schedule_after(
+            self._link.transmission_delay(), self._handle_at_node, next_hop, transit
+        )
+
+    def _deliver(self, transit: _TransitPacket) -> None:
+        now = self._sim.now
+        packet = transit.packet
+        if self._codec is not None:
+            reading = self._codec.open(packet.payload)
+            if reading.created_at != packet.created_at:
+                raise RuntimeError(
+                    "payload timestamp does not match simulator ground truth "
+                    f"for flow {packet.flow_id} packet {packet.packet_id}"
+                )
+        self._trace(transit, "delivered", self.config.deployment.sink)
+        self._result.observations.append(packet.observe(arrival_time=now))
+        self._result.records.append(
+            PacketRecord(
+                flow_id=packet.flow_id,
+                packet_id=packet.packet_id,
+                created_at=packet.created_at,
+                delivered_at=now,
+                hop_count=packet.header.hop_count,
+                preemptions_experienced=transit.preemptions,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _finalize(self) -> None:
+        # Use the last *event* time, not the clock: run_until leaves
+        # the clock at the safety horizon, which would dilute every
+        # time-averaged statistic.
+        end = self._sim.last_event_time
+        for node, state in self._nodes.items():
+            state.track_occupancy(end, state.buffer.occupancy)
+            state.stats.observation_time = end
+            state.stats.peak_occupancy = state.buffer.peak_occupancy
+            self._result.node_stats[node] = state.stats
+        self._result.lost_in_transit = self.lost_in_transit
+        self._result.end_time = end
+        self._result.events_processed = self._sim.events_processed

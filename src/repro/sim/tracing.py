@@ -1,0 +1,142 @@
+"""Per-packet lifecycle tracing.
+
+Debugging a privacy mechanism means asking "what exactly happened to
+*this* packet?" -- where it was buffered, for how long, whether it was
+preempted, and when each hop forwarded it.  With
+``record_packet_traces=True`` in the configuration, the simulator
+appends one :class:`TraceEvent` per lifecycle step to a
+:class:`PacketTrace` per packet:
+
+* ``created`` -- at the source, at the creation time;
+* ``buffered`` -- admitted to a node's buffer (detail = scheduled
+  release time);
+* ``preempted`` -- forced out early as an RCAD victim (detail = the
+  release time it would have had);
+* ``dropped`` -- rejected by a full drop-tail buffer;
+* ``forwarded`` -- transmitted toward the next hop (detail = receiver);
+* ``lost`` -- transmission lost on the air (lossy links);
+* ``delivered`` -- handed to the sink.
+
+Traces are ground truth (the simulator's god view); they are never
+exposed to adversary code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "PacketTrace"]
+
+#: the legal lifecycle step names, in no particular order
+EVENT_KINDS = (
+    "created",
+    "buffered",
+    "preempted",
+    "dropped",
+    "forwarded",
+    "lost",
+    "delivered",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step in a packet's life."""
+
+    time: float
+    kind: str
+    node: int
+    detail: float | int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown trace event kind {self.kind!r}; expected one of "
+                f"{EVENT_KINDS}"
+            )
+
+
+@dataclass
+class PacketTrace:
+    """The full lifecycle of one packet."""
+
+    flow_id: int
+    packet_id: int
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, time: float, kind: str, node: int, detail=None) -> None:
+        """Append a lifecycle event (times must be non-decreasing)."""
+        if self.events and time < self.events[-1].time - 1e-12:
+            raise ValueError(
+                f"trace events must be time-ordered; {time:g} after "
+                f"{self.events[-1].time:g}"
+            )
+        self.events.append(TraceEvent(time=time, kind=kind, node=node, detail=detail))
+
+    # ------------------------------------------------------------------
+    @property
+    def delivered(self) -> bool:
+        """True if the packet reached the sink."""
+        return any(e.kind == "delivered" for e in self.events)
+
+    @property
+    def preemption_count(self) -> int:
+        """Number of times this packet was an RCAD victim."""
+        return sum(1 for e in self.events if e.kind == "preempted")
+
+    def buffering_delays(self) -> list[tuple[int, float]]:
+        """(node, realized buffering delay) for every buffering stop.
+
+        The realized delay is the gap between the ``buffered`` event
+        and the following ``preempted``-or-``forwarded`` event at the
+        same node.
+        """
+        delays = []
+        pending: tuple[int, float] | None = None
+        for event in self.events:
+            if event.kind == "buffered":
+                pending = (event.node, event.time)
+            elif event.kind in ("preempted", "forwarded") and pending is not None:
+                node, entered = pending
+                if event.node == node:
+                    delays.append((node, event.time - entered))
+                    pending = None
+        return delays
+
+    def path(self) -> list[int]:
+        """The node sequence the packet traversed (source first)."""
+        nodes: list[int] = []
+        for event in self.events:
+            if event.kind in ("created", "forwarded") and (
+                not nodes or nodes[-1] != event.node
+            ):
+                nodes.append(event.node)
+            elif event.kind == "delivered":
+                nodes.append(event.node)
+        return nodes
+
+    def end_to_end_latency(self) -> float:
+        """Delivery time minus creation time.
+
+        Raises
+        ------
+        ValueError
+            If the packet was not delivered (dropped or lost).
+        """
+        created = next(e for e in self.events if e.kind == "created")
+        for event in self.events:
+            if event.kind == "delivered":
+                return event.time - created.time
+        raise ValueError(
+            f"packet ({self.flow_id}, {self.packet_id}) was never delivered"
+        )
+
+    def render(self) -> str:
+        """Human-readable one-line-per-event rendering."""
+        lines = [f"packet flow={self.flow_id} id={self.packet_id}"]
+        for event in self.events:
+            detail = f" ({event.detail:g})" if event.detail is not None else ""
+            lines.append(
+                f"  t={event.time:10.3f}  {event.kind:<9} @ node {event.node}{detail}"
+            )
+        return "\n".join(lines)

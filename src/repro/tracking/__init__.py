@@ -1,0 +1,39 @@
+"""Asset tracking: the paper's motivating threat, made executable.
+
+Section 2's scenario: an asset (animal, vehicle) moves through the
+field; sensors that detect it report to the sink.  The adversary reads
+each report's *origin* from the cleartext header -- so he knows
+**where** the asset was seen -- and estimates **when** from the arrival
+time.  "If we add temporal ambiguity to the time that the packets are
+created then, as the asset moves, this would introduce spatial
+ambiguity and make it harder for the adversary to track the asset."
+
+This subpackage closes the loop on that claim:
+
+* :mod:`repro.tracking.trajectory` -- waypoint asset motion models and
+  interpolated position lookup,
+* :mod:`repro.tracking.detection` -- proximity detection: which sensors
+  fire, and when, as the asset passes,
+* :mod:`repro.tracking.adversary` -- the tracking adversary: per-packet
+  creation-time estimates + known sensor positions -> a reconstructed
+  trajectory; plus the localization-error metric that quantifies the
+  spatial ambiguity temporal privacy buys.
+"""
+
+from repro.tracking.adversary import (
+    TrackingAdversary,
+    TrajectoryEstimate,
+    mean_localization_error,
+)
+from repro.tracking.detection import Detection, detect_passes
+from repro.tracking.trajectory import Trajectory, waypoint_trajectory
+
+__all__ = [
+    "Trajectory",
+    "waypoint_trajectory",
+    "Detection",
+    "detect_passes",
+    "TrackingAdversary",
+    "TrajectoryEstimate",
+    "mean_localization_error",
+]

@@ -1,0 +1,94 @@
+"""Proximity detection: which sensors see the asset, and when.
+
+A sensor fires when the asset comes within its detection radius, then
+re-arms after a hold-off period (real motes debounce detections; this
+also keeps one pass from generating a packet storm).  Detection times
+are found by sampling the trajectory on a fine grid and taking the
+closest-approach instant of each entry into the radius.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.tracking.trajectory import Trajectory
+
+__all__ = ["Detection", "detect_passes"]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One sensor firing: the ground truth of an observation event."""
+
+    node_id: int
+    time: float
+    distance: float
+
+
+def detect_passes(
+    trajectory: Trajectory,
+    positions: Mapping[int, tuple[float, float]],
+    detection_radius: float,
+    hold_off: float = 10.0,
+    time_step: float = 0.25,
+) -> list[Detection]:
+    """Compute all sensor detections along a trajectory.
+
+    Parameters
+    ----------
+    trajectory:
+        The asset's path.
+    positions:
+        Sensor node id -> (x, y).
+    detection_radius:
+        Sensing range.
+    hold_off:
+        Minimum time between two detections by the same sensor.
+    time_step:
+        Sampling resolution along the trajectory.
+
+    Returns
+    -------
+    list[Detection]
+        Sorted by time.  Each contiguous in-radius interval yields one
+        detection at the closest approach within it.
+    """
+    if detection_radius <= 0:
+        raise ValueError(f"detection radius must be positive, got {detection_radius}")
+    if hold_off < 0:
+        raise ValueError(f"hold-off must be non-negative, got {hold_off}")
+    times = trajectory.sample_times(time_step)
+    track = np.array([trajectory.position_at(float(t)) for t in times])
+
+    detections: list[Detection] = []
+    for node_id, (sx, sy) in positions.items():
+        distances = np.hypot(track[:, 0] - sx, track[:, 1] - sy)
+        inside = distances <= detection_radius
+        last_fire = -math.inf
+        index = 0
+        while index < inside.size:
+            if not inside[index]:
+                index += 1
+                continue
+            # One contiguous pass: find the closest approach inside it.
+            end = index
+            while end < inside.size and inside[end]:
+                end += 1
+            closest = index + int(np.argmin(distances[index:end]))
+            fire_time = float(times[closest])
+            if fire_time - last_fire >= hold_off:
+                detections.append(
+                    Detection(
+                        node_id=node_id,
+                        time=fire_time,
+                        distance=float(distances[closest]),
+                    )
+                )
+                last_fire = fire_time
+            index = end
+    detections.sort(key=lambda d: (d.time, d.node_id))
+    return detections

@@ -1,0 +1,105 @@
+"""Asset motion models.
+
+A :class:`Trajectory` is a piecewise-linear path through the plane:
+waypoints with timestamps, positions interpolated in between.  The
+asset moves at constant speed along each leg (timestamps are derived
+from leg lengths when built via :func:`waypoint_trajectory`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Trajectory", "waypoint_trajectory"]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A timed piecewise-linear path.
+
+    Attributes
+    ----------
+    times:
+        Strictly increasing waypoint timestamps.
+    points:
+        (x, y) waypoint positions, aligned with ``times``.
+    """
+
+    times: tuple[float, ...]
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.points):
+            raise ValueError("times and points must be aligned")
+        if len(self.times) < 2:
+            raise ValueError("a trajectory needs at least two waypoints")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise ValueError("waypoint times must be strictly increasing")
+
+    @property
+    def start_time(self) -> float:
+        """Time of the first waypoint."""
+        return self.times[0]
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last waypoint."""
+        return self.times[-1]
+
+    def position_at(self, t: float) -> tuple[float, float]:
+        """Asset position at time ``t`` (clamped to the endpoints)."""
+        if t <= self.times[0]:
+            return self.points[0]
+        if t >= self.times[-1]:
+            return self.points[-1]
+        index = int(np.searchsorted(self.times, t, side="right")) - 1
+        t0, t1 = self.times[index], self.times[index + 1]
+        (x0, y0), (x1, y1) = self.points[index], self.points[index + 1]
+        fraction = (t - t0) / (t1 - t0)
+        return (x0 + fraction * (x1 - x0), y0 + fraction * (y1 - y0))
+
+    def total_length(self) -> float:
+        """Path length over all legs."""
+        return float(
+            sum(
+                math.hypot(x1 - x0, y1 - y0)
+                for (x0, y0), (x1, y1) in zip(self.points, self.points[1:])
+            )
+        )
+
+    def sample_times(self, step: float) -> np.ndarray:
+        """Uniform time grid covering the trajectory."""
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        return np.arange(self.start_time, self.end_time + step / 2, step)
+
+
+def waypoint_trajectory(
+    waypoints: Sequence[tuple[float, float]],
+    speed: float,
+    start_time: float = 0.0,
+) -> Trajectory:
+    """Constant-speed trajectory through ``waypoints``.
+
+    Timestamps are derived from leg lengths: a leg of length L takes
+    L / speed time units.  Zero-length legs are rejected (they would
+    produce duplicate timestamps).
+    """
+    if speed <= 0:
+        raise ValueError(f"speed must be positive, got {speed}")
+    if len(waypoints) < 2:
+        raise ValueError("need at least two waypoints")
+    times = [float(start_time)]
+    for (x0, y0), (x1, y1) in zip(waypoints, waypoints[1:]):
+        leg = math.hypot(x1 - x0, y1 - y0)
+        if leg == 0:
+            raise ValueError("consecutive waypoints must be distinct")
+        times.append(times[-1] + leg / speed)
+    return Trajectory(
+        times=tuple(times),
+        points=tuple((float(x), float(y)) for x, y in waypoints),
+    )

@@ -1,0 +1,41 @@
+"""Source traffic models.
+
+The paper's analysis assumes Poisson packet creation (Sections 3-4)
+while its simulations use "a realistic sensor traffic model where
+packets are periodically transmitted by each source" (Section 5.2).
+Both are provided, together with the richer models needed for the
+extension experiments:
+
+* :class:`~repro.traffic.generators.PeriodicTraffic` -- fixed
+  inter-arrival 1/lambda (the Figure 2/3 workload),
+* :class:`~repro.traffic.generators.PoissonTraffic` -- Exp(lambda)
+  gaps (the analytic model),
+* :class:`~repro.traffic.generators.JitteredPeriodicTraffic` --
+  periodic with bounded uniform jitter,
+* :class:`~repro.traffic.generators.OnOffTraffic` -- bursty
+  exponential on/off phases (event-driven sensing),
+* :class:`~repro.traffic.generators.MMPPTraffic` -- Markov-modulated
+  Poisson process, the classic bursty-aggregate model,
+* :class:`~repro.traffic.generators.TraceTraffic` -- replay of an
+  explicit creation-time list.
+"""
+
+from repro.traffic.generators import (
+    JitteredPeriodicTraffic,
+    MMPPTraffic,
+    OnOffTraffic,
+    PeriodicTraffic,
+    PoissonTraffic,
+    TraceTraffic,
+    TrafficModel,
+)
+
+__all__ = [
+    "TrafficModel",
+    "PeriodicTraffic",
+    "PoissonTraffic",
+    "JitteredPeriodicTraffic",
+    "OnOffTraffic",
+    "MMPPTraffic",
+    "TraceTraffic",
+]

@@ -1,0 +1,267 @@
+"""Creation-time generators for source nodes.
+
+Every model implements :class:`TrafficModel`: given a packet budget, a
+horizon and a random stream, produce the sorted creation times of one
+source's packets.  The simulator turns each creation time into a packet
+injected at the source node.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "TrafficModel",
+    "PeriodicTraffic",
+    "PoissonTraffic",
+    "JitteredPeriodicTraffic",
+    "OnOffTraffic",
+    "MMPPTraffic",
+    "TraceTraffic",
+]
+
+
+class TrafficModel(abc.ABC):
+    """Interface for source packet-creation processes."""
+
+    @abc.abstractmethod
+    def creation_times(
+        self, n_packets: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sorted creation times of the first ``n_packets`` packets."""
+
+    @abc.abstractmethod
+    def mean_rate(self) -> float:
+        """Long-run packet creation rate lambda (packets per time unit)."""
+
+    @staticmethod
+    def _check_count(n_packets: int) -> None:
+        if n_packets < 0:
+            raise ValueError(f"packet count must be non-negative, got {n_packets}")
+
+
+class PeriodicTraffic(TrafficModel):
+    """Fixed inter-arrival traffic: the paper's simulation workload.
+
+    "Each source generated a total of 1000 packets at periodic
+    intervals with an inter-arrival time of 1/lambda time units"
+    (Section 5.2).
+
+    Parameters
+    ----------
+    interval:
+        1/lambda, the gap between consecutive packets.
+    phase:
+        Creation time of the first packet (defaults to one interval in,
+        so sources started together do not all fire at t = 0).
+    """
+
+    def __init__(self, interval: float, phase: float | None = None) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self.phase = float(phase) if phase is not None else float(interval)
+        if self.phase < 0:
+            raise ValueError(f"phase must be non-negative, got {self.phase}")
+
+    def creation_times(self, n_packets: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_count(n_packets)
+        return self.phase + self.interval * np.arange(n_packets, dtype=float)
+
+    def mean_rate(self) -> float:
+        return 1.0 / self.interval
+
+
+class PoissonTraffic(TrafficModel):
+    """Poisson(lambda) creation: Exp(1/lambda) independent gaps."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    def creation_times(self, n_packets: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_count(n_packets)
+        gaps = rng.exponential(1.0 / self.rate, size=n_packets)
+        return np.cumsum(gaps)
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+class JitteredPeriodicTraffic(TrafficModel):
+    """Periodic traffic with bounded uniform jitter per packet.
+
+    Models sensing duty cycles with clock drift: packet j is created at
+    ``phase + j * interval + U(-jitter, +jitter)``.  Jitter must stay
+    below half the interval so creation order is preserved.
+    """
+
+    def __init__(self, interval: float, jitter: float, phase: float | None = None) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if not 0 <= jitter < interval / 2:
+            raise ValueError(
+                f"jitter must be in [0, interval/2) = [0, {interval / 2}), got {jitter}"
+            )
+        self.interval = float(interval)
+        self.jitter = float(jitter)
+        self.phase = float(phase) if phase is not None else float(interval)
+
+    def creation_times(self, n_packets: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_count(n_packets)
+        base = self.phase + self.interval * np.arange(n_packets, dtype=float)
+        if self.jitter > 0:
+            base = base + rng.uniform(-self.jitter, self.jitter, size=n_packets)
+        return np.maximum(base, 0.0)
+
+    def mean_rate(self) -> float:
+        return 1.0 / self.interval
+
+
+class OnOffTraffic(TrafficModel):
+    """Bursty on/off traffic (event-driven sensing).
+
+    The source alternates exponential ON phases (packets generated as
+    Poisson with ``burst_rate``) and exponential OFF phases (silence) --
+    the natural model for "an animal walked past the sensor": bursts of
+    observations separated by quiet periods.
+    """
+
+    def __init__(
+        self,
+        burst_rate: float,
+        mean_on: float,
+        mean_off: float,
+    ) -> None:
+        if burst_rate <= 0:
+            raise ValueError(f"burst rate must be positive, got {burst_rate}")
+        if mean_on <= 0 or mean_off < 0:
+            raise ValueError("mean_on must be positive and mean_off non-negative")
+        self.burst_rate = float(burst_rate)
+        self.mean_on = float(mean_on)
+        self.mean_off = float(mean_off)
+
+    def creation_times(self, n_packets: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_count(n_packets)
+        times: list[float] = []
+        t = 0.0
+        while len(times) < n_packets:
+            on_end = t + rng.exponential(self.mean_on)
+            while True:
+                t += rng.exponential(1.0 / self.burst_rate)
+                if t >= on_end or len(times) >= n_packets:
+                    break
+                times.append(t)
+            t = on_end + (rng.exponential(self.mean_off) if self.mean_off > 0 else 0.0)
+        return np.asarray(times[:n_packets])
+
+    def mean_rate(self) -> float:
+        duty_cycle = self.mean_on / (self.mean_on + self.mean_off)
+        return self.burst_rate * duty_cycle
+
+
+class MMPPTraffic(TrafficModel):
+    """Markov-modulated Poisson process over a finite set of states.
+
+    Parameters
+    ----------
+    rates:
+        Poisson rate in each modulating state.
+    mean_holding:
+        Mean sojourn time in each state (exponential holding).
+    transition:
+        Row-stochastic jump matrix between states (diagonal ignored and
+        renormalized); defaults to uniform jumps to the other states.
+    """
+
+    def __init__(
+        self,
+        rates: Sequence[float],
+        mean_holding: Sequence[float],
+        transition: np.ndarray | None = None,
+    ) -> None:
+        self.rates = np.asarray(rates, dtype=float)
+        self.mean_holding = np.asarray(mean_holding, dtype=float)
+        if self.rates.ndim != 1 or self.rates.size < 2:
+            raise ValueError("need at least two modulating states")
+        if self.rates.shape != self.mean_holding.shape:
+            raise ValueError("rates and mean_holding must have the same length")
+        if np.any(self.rates < 0) or np.any(self.mean_holding <= 0):
+            raise ValueError("rates must be >= 0 and holding times > 0")
+        n = self.rates.size
+        if transition is None:
+            transition = (np.ones((n, n)) - np.eye(n)) / (n - 1)
+        transition = np.asarray(transition, dtype=float)
+        if transition.shape != (n, n):
+            raise ValueError(f"transition matrix must be {n}x{n}")
+        np.fill_diagonal(transition, 0.0)
+        row_sums = transition.sum(axis=1, keepdims=True)
+        if np.any(row_sums == 0):
+            raise ValueError("every state needs at least one outgoing transition")
+        self.transition = transition / row_sums
+
+    def creation_times(self, n_packets: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_count(n_packets)
+        times: list[float] = []
+        state = int(rng.integers(self.rates.size))
+        t = 0.0
+        while len(times) < n_packets:
+            hold = rng.exponential(self.mean_holding[state])
+            rate = self.rates[state]
+            if rate > 0:
+                phase_end = t + hold
+                while True:
+                    t += rng.exponential(1.0 / rate)
+                    if t >= phase_end or len(times) >= n_packets:
+                        break
+                    times.append(t)
+                t = phase_end
+            else:
+                t += hold
+            state = int(rng.choice(self.rates.size, p=self.transition[state]))
+        return np.asarray(times[:n_packets])
+
+    def mean_rate(self) -> float:
+        # Stationary distribution of the embedded semi-Markov process,
+        # weighted by holding times.
+        eigenvalues, eigenvectors = np.linalg.eig(self.transition.T)
+        idx = int(np.argmin(np.abs(eigenvalues - 1.0)))
+        pi = np.real(eigenvectors[:, idx])
+        pi = np.abs(pi) / np.abs(pi).sum()
+        weights = pi * self.mean_holding
+        weights = weights / weights.sum()
+        return float(np.dot(weights, self.rates))
+
+
+class TraceTraffic(TrafficModel):
+    """Replay an explicit list of creation times.
+
+    Used to feed recorded or adversarially crafted workloads into the
+    simulator; the rate is estimated from the trace span.
+    """
+
+    def __init__(self, times: Sequence[float]) -> None:
+        trace = np.sort(np.asarray(times, dtype=float))
+        if trace.size == 0:
+            raise ValueError("trace must contain at least one creation time")
+        if np.any(trace < 0):
+            raise ValueError("creation times must be non-negative")
+        self.trace = trace
+
+    def creation_times(self, n_packets: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_count(n_packets)
+        if n_packets > self.trace.size:
+            raise ValueError(
+                f"trace has only {self.trace.size} packets, {n_packets} requested"
+            )
+        return self.trace[:n_packets].copy()
+
+    def mean_rate(self) -> float:
+        if self.trace.size < 2:
+            return 0.0
+        span = self.trace[-1] - self.trace[0]
+        return float((self.trace.size - 1) / span) if span > 0 else float("inf")

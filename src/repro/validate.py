@@ -1,0 +1,136 @@
+"""Installation self-check: ``python -m repro.validate``.
+
+Runs one fast end-to-end check per subsystem (seconds, not minutes)
+and prints PASS/FAIL per line -- the smoke test to run right after
+installing in a new environment, before committing to the full test
+and benchmark suites.  Exit code 0 iff everything passed.
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+from typing import Callable
+
+__all__ = ["CHECKS", "run_checks", "main"]
+
+
+def _check_des_engine() -> None:
+    from repro.des import Simulator
+
+    sim = Simulator()
+    seen: list[float] = []
+    sim.schedule(2.0, lambda: seen.append(sim.now))
+    sim.schedule(1.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.0, 2.0], seen
+
+
+def _check_crypto() -> None:
+    from repro.crypto import KeyManager, PayloadCodec, SensorReading
+    from repro.crypto.speck import Speck64_128
+
+    key = bytes([0x00, 0x01, 0x02, 0x03, 0x08, 0x09, 0x0A, 0x0B,
+                 0x10, 0x11, 0x12, 0x13, 0x18, 0x19, 0x1A, 0x1B])
+    ct = Speck64_128(key).encrypt_block(
+        bytes([0x2D, 0x43, 0x75, 0x74, 0x74, 0x65, 0x72, 0x3B])
+    )
+    assert ct == bytes([0x8B, 0x02, 0x4E, 0x45, 0x48, 0xA5, 0x6F, 0x8C])
+    codec = PayloadCodec(KeyManager(bytes(16)))
+    reading = SensorReading(created_at=17.0, app_seq=1, value=2.5)
+    assert codec.open(codec.seal(3, reading)) == reading
+
+
+def _check_queueing() -> None:
+    from repro.queueing import MMInfinityQueue, erlang_b
+
+    assert abs(erlang_b(2.0, 4) - 2.0 / 21.0) < 1e-12
+    queue = MMInfinityQueue(arrival_rate=0.5, service_rate=1 / 30)
+    assert abs(queue.mean_occupancy - 15.0) < 1e-12
+
+
+def _check_infotheory() -> None:
+    import numpy as np
+
+    from repro.infotheory import gaussian_mutual_information, ksg_mutual_information
+
+    rng = np.random.Generator(np.random.PCG64(0))
+    x = rng.normal(0.0, 2.0, size=1500)
+    z = x + rng.normal(0.0, 1.0, size=1500)
+    truth = gaussian_mutual_information(4.0, 1.0)
+    assert abs(ksg_mutual_information(x, z) - truth) < 0.2
+
+
+def _check_topology() -> None:
+    from repro.net import greedy_grid_tree, paper_topology
+
+    deployment = paper_topology()
+    tree = greedy_grid_tree(deployment, width=12)
+    hops = {
+        label: tree.hop_count(deployment.node_for_label(label))
+        for label in ("S1", "S2", "S3", "S4")
+    }
+    assert hops == {"S1": 15, "S2": 22, "S3": 9, "S4": 11}, hops
+
+
+def _check_simulator_and_rcad() -> None:
+    from repro.experiments.common import build_adversary, run_paper_case, score_flow
+
+    result = run_paper_case(2.0, "rcad", n_packets=80, seed=0)
+    assert result.delivered_count() == 4 * 80
+    assert result.total_preemptions() > 0
+    metrics = score_flow(result, build_adversary("baseline", "rcad"))
+    assert metrics.mse > 1e4  # the privacy boost is visible even tiny
+
+
+def _check_rcad_closed_form() -> None:
+    from repro.queueing import RcadNodeModel
+
+    node = RcadNodeModel(arrival_rate=2.0, service_rate=1 / 30, capacity=10)
+    assert node.mean_delay < 30.0
+    assert abs(node.mean_delay - node.saturated_drain_time()) < 1.0
+
+
+CHECKS: dict[str, Callable[[], None]] = {
+    "des engine (ordering, clock)": _check_des_engine,
+    "crypto (Speck vector, sealed payloads)": _check_crypto,
+    "queueing (Erlang-B, M/M/inf)": _check_queueing,
+    "information theory (KSG vs Gaussian)": _check_infotheory,
+    "Figure 1 topology (hop counts)": _check_topology,
+    "WSN simulator + RCAD (tiny run)": _check_simulator_and_rcad,
+    "RCAD closed form": _check_rcad_closed_form,
+}
+
+
+def run_checks(verbose: bool = True) -> dict[str, Exception | None]:
+    """Run every check; returns {name: None or the exception}."""
+    outcomes: dict[str, Exception | None] = {}
+    for name, check in CHECKS.items():
+        try:
+            check()
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            outcomes[name] = error
+            if verbose:
+                print(f"FAIL  {name}")
+                traceback.print_exception(error, limit=2, file=sys.stdout)
+        else:
+            outcomes[name] = None
+            if verbose:
+                print(f"PASS  {name}")
+    return outcomes
+
+
+def main() -> int:
+    """Entry point; returns the exit code."""
+    print("repro self-check\n")
+    outcomes = run_checks(verbose=True)
+    failures = sum(1 for error in outcomes.values() if error is not None)
+    print(
+        f"\n{len(outcomes) - failures}/{len(outcomes)} subsystems healthy"
+        + ("" if failures == 0 else f"; {failures} FAILED")
+    )
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

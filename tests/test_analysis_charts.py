@@ -1,0 +1,70 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import render_chart
+from repro.analysis.records import ExperimentSeries, ExperimentTable
+
+
+def _table():
+    table = ExperimentTable("Demo", "1/lambda", "MSE")
+    table.add(ExperimentSeries("low", [2.0, 4.0], [10.0, 5.0]))
+    table.add(ExperimentSeries("high", [2.0, 4.0], [100.0, 50.0]))
+    return table
+
+
+class TestRenderChart:
+    def test_contains_title_labels_and_values(self):
+        text = render_chart(_table())
+        assert "Demo" in text
+        assert "low" in text and "high" in text
+        assert "100" in text
+
+    def test_longest_bar_belongs_to_peak(self):
+        text = render_chart(_table(), width=40)
+        lines = [line for line in text.splitlines() if "|" in line]
+        bar_lengths = {
+            line.split("|")[0].strip(): line.split("|")[1].count("█")
+            for line in lines
+        }
+        # The peak value (high at x=2) gets the full width.
+        peak_line = [l for l in lines if "100" in l][0]
+        assert peak_line.split("|")[1].count("█") == 40
+
+    def test_bars_scale_proportionally(self):
+        text = render_chart(_table(), width=40)
+        lines = [line for line in text.splitlines() if "|" in line]
+        low_at_2 = [l for l in lines if l.strip().startswith("low")][0]
+        # 10 / 100 of 40 cells = 4 cells.
+        assert low_at_2.split("|")[1].count("█") == 4
+
+    def test_log_scale_compresses(self):
+        linear = render_chart(_table(), width=40, log_scale=False)
+        logged = render_chart(_table(), width=40, log_scale=True)
+        low_linear = [l for l in linear.splitlines() if l.strip().startswith("low")][0]
+        low_logged = [l for l in logged.splitlines() if l.strip().startswith("low")][0]
+        assert low_logged.split("|")[1].count("█") > low_linear.split("|")[1].count("█")
+
+    def test_zero_values_draw_empty_bars(self):
+        table = ExperimentTable("Z", "x", "y")
+        table.add(ExperimentSeries("zeros", [1.0], [0.0]))
+        text = render_chart(table)
+        assert "█" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_chart(_table(), width=2)
+        with pytest.raises(ValueError):
+            render_chart(ExperimentTable("E", "x", "y"))
+        table = ExperimentTable("N", "x", "y")
+        table.add(ExperimentSeries("neg", [1.0], [-1.0]))
+        with pytest.raises(ValueError):
+            render_chart(table)
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.cli import main
+
+        main(["fig3", "--packets", "40", "--interarrivals", "4",
+              "--seed", "1", "--chart"])
+        out = capsys.readouterr().out
+        assert "█" in out or "log scale" in out

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig2_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.packets == 1000
+        assert args.seed == 0
+
+    def test_run_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--case", "bogus"])
+
+    def test_fig3_path_aware_flag(self):
+        args = build_parser().parse_args(["fig3", "--path-aware"])
+        assert args.path_aware is True
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "S1" in out and "15" in out
+
+    def test_fig2_small(self, capsys):
+        code = main(
+            ["fig2", "--packets", "60", "--seed", "1", "--interarrivals", "4,20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(a)" in out and "Figure 2(b)" in out
+        assert "NoDelay" in out and "Delay&LimitedBuffers" in out
+
+    def test_fig3_small(self, capsys):
+        code = main(
+            ["fig3", "--packets", "60", "--seed", "1", "--interarrivals", "4,20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BaselineAdversary" in out and "AdaptiveAdversary" in out
+
+    def test_run_rcad(self, capsys):
+        code = main(
+            ["run", "--case", "rcad", "--packets", "60", "--interarrival", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adversary MSE" in out
+        assert "preemptions" in out
+
+    def test_run_no_delay_zero_mse(self, capsys):
+        main(["run", "--case", "no-delay", "--packets", "30"])
+        out = capsys.readouterr().out
+        assert "adversary MSE   : 0.0" in out
+
+    def test_invalid_sweep_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--interarrivals", "2,apple"])
+        with pytest.raises(SystemExit):
+            main(["fig2", "--interarrivals", "-3"])
+
+    def test_fig3_csv_and_json_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig3.csv"
+        json_path = tmp_path / "fig3.json"
+        code = main([
+            "fig3", "--packets", "40", "--seed", "1",
+            "--interarrivals", "4,20",
+            "--csv", str(csv_path), "--json", str(json_path),
+        ])
+        assert code == 0
+        csv_text = csv_path.read_text()
+        assert csv_text.splitlines()[0].startswith("1/lambda,")
+        assert len(csv_text.strip().splitlines()) == 3  # header + 2 rows
+        from repro.analysis.records import ExperimentTable
+
+        restored = ExperimentTable.from_json(json_path.read_text())
+        assert [s.label for s in restored.series] == [
+            "BaselineAdversary", "AdaptiveAdversary",
+        ]
+
+    def test_theory_fast(self, capsys):
+        assert main(["theory", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "bits-through-queues" in out
+        assert "EPI lower bound" in out
+        assert "exponential" in out
+
+    def test_queueing_fast(self, capsys):
+        assert main(["queueing", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "M/M/inf validation" in out
+        assert "Erlang loss validation" in out
+        assert "QueueTreeModel" in out
+
+    def test_fig2_export_writes_both_panels(self, tmp_path, capsys):
+        base = tmp_path / "fig2.csv"
+        main([
+            "fig2", "--packets", "40", "--seed", "1",
+            "--interarrivals", "4", "--csv", str(base),
+        ])
+        assert base.exists()
+        assert (tmp_path / "fig2.csv.latency.csv").exists()

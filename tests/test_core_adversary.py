@@ -1,0 +1,194 @@
+"""Unit tests for the adversary estimators."""
+
+import pytest
+
+from repro.core.adversary import (
+    AdaptiveAdversary,
+    BaselineAdversary,
+    FlowKnowledge,
+    NaiveAdversary,
+    PathAwareAdaptiveAdversary,
+)
+from repro.net.packet import PacketObservation
+from repro.queueing.erlang import erlang_b
+
+
+def _obs(arrival, hops=15, origin=103):
+    return PacketObservation(
+        arrival_time=arrival, previous_hop=1, origin=origin,
+        routing_seq=0, hop_count=hops,
+    )
+
+
+RCAD_KNOWLEDGE = FlowKnowledge(
+    transmission_delay=1.0, mean_delay_per_hop=30.0, buffer_capacity=10, n_sources=4
+)
+
+
+class TestFlowKnowledge:
+    def test_defaults(self):
+        knowledge = FlowKnowledge()
+        assert knowledge.transmission_delay == 1.0
+        assert knowledge.mean_delay_per_hop == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowKnowledge(transmission_delay=-1.0)
+        with pytest.raises(ValueError):
+            FlowKnowledge(mean_delay_per_hop=-1.0)
+        with pytest.raises(ValueError):
+            FlowKnowledge(buffer_capacity=0)
+        with pytest.raises(ValueError):
+            FlowKnowledge(n_sources=0)
+
+
+class TestNaiveAdversary:
+    def test_formula(self):
+        adversary = NaiveAdversary(FlowKnowledge(transmission_delay=1.0))
+        assert adversary.estimate(_obs(arrival=100.0, hops=15)) == 85.0
+
+    def test_exact_on_undefended_network(self):
+        """z = x + h*tau implies x_hat = x."""
+        adversary = NaiveAdversary(FlowKnowledge(transmission_delay=2.0))
+        x = 50.0
+        z = x + 7 * 2.0
+        assert adversary.estimate(_obs(arrival=z, hops=7)) == pytest.approx(x)
+
+
+class TestBaselineAdversary:
+    def test_formula(self):
+        adversary = BaselineAdversary(RCAD_KNOWLEDGE)
+        # x_hat = z - h (tau + 1/mu) = 500 - 15 * 31.
+        assert adversary.estimate(_obs(arrival=500.0, hops=15)) == pytest.approx(35.0)
+
+    def test_unbiased_against_unlimited_buffers_on_average(self):
+        """Against the mean total delay, the estimate is centred."""
+        adversary = BaselineAdversary(RCAD_KNOWLEDGE)
+        x = 10.0
+        mean_z = x + 15 * (1.0 + 30.0)
+        assert adversary.estimate(_obs(arrival=mean_z, hops=15)) == pytest.approx(x)
+
+    def test_estimate_all_requires_arrival_order(self):
+        adversary = BaselineAdversary(RCAD_KNOWLEDGE)
+        with pytest.raises(ValueError):
+            adversary.estimate_all([_obs(10.0), _obs(5.0)])
+
+    def test_estimate_all_maps_each(self):
+        adversary = BaselineAdversary(RCAD_KNOWLEDGE)
+        estimates = adversary.estimate_all([_obs(500.0), _obs(600.0)])
+        assert estimates == [pytest.approx(35.0), pytest.approx(135.0)]
+
+
+class TestAdaptiveAdversary:
+    def _feed_uniform(self, adversary, rate, count=200, hops=15):
+        """Feed `count` observations at a constant aggregate rate."""
+        estimates = []
+        for i in range(count):
+            estimates.append(adversary.estimate(_obs(arrival=i / rate, hops=hops)))
+        return estimates
+
+    def test_low_rate_behaves_like_baseline(self):
+        adversary = AdaptiveAdversary(RCAD_KNOWLEDGE)
+        baseline = BaselineAdversary(RCAD_KNOWLEDGE)
+        # Aggregate rate 0.05 -> rho = 1.5 on k = 10: loss ~ 0.
+        estimates = self._feed_uniform(adversary, rate=0.05)
+        final_obs = _obs(arrival=(200 / 0.05) + 100.0)
+        assert adversary.estimate(final_obs) == pytest.approx(
+            baseline.estimate(final_obs)
+        )
+        assert not adversary.in_preemption_regime()
+
+    def test_high_rate_switches_to_saturation_estimate(self):
+        adversary = AdaptiveAdversary(RCAD_KNOWLEDGE, clamp_to_advertised=False)
+        # Aggregate rate 2.0 -> rho = 60 on k = 10: loss >> 0.1.
+        self._feed_uniform(adversary, rate=2.0)
+        assert adversary.in_preemption_regime()
+        assert adversary.observed_rate == pytest.approx(2.0, rel=0.02)
+        # Next arrival continues the same rate (a distant arrival would
+        # legitimately dilute the adversary's rate estimate).
+        # Per-hop extra: n k / lambda_tot = 4 * 10 / 2 = 20.
+        obs = _obs(arrival=200 / 2.0 + 0.5, hops=15)
+        expected = obs.arrival_time - 15 * (1.0 + 20.0)
+        assert adversary.estimate(obs) == pytest.approx(expected, abs=3.0)
+
+    def test_clamp_caps_at_advertised_mean(self):
+        adversary = AdaptiveAdversary(RCAD_KNOWLEDGE, clamp_to_advertised=True)
+        # Rate 0.4: rho = 12 > threshold load, but n k / lambda = 100 > 30.
+        self._feed_uniform(adversary, rate=0.4)
+        assert adversary.in_preemption_regime()
+        obs = _obs(arrival=200 / 0.4 + 2.0, hops=15)
+        baseline = BaselineAdversary(RCAD_KNOWLEDGE)
+        assert adversary.estimate(obs) == pytest.approx(
+            baseline.estimate(obs), rel=1e-6
+        )
+
+    def test_warmup_behaves_like_baseline(self):
+        adversary = AdaptiveAdversary(RCAD_KNOWLEDGE, warmup_observations=50)
+        baseline = BaselineAdversary(RCAD_KNOWLEDGE)
+        obs = _obs(arrival=1.0)
+        assert adversary.estimate(obs) == baseline.estimate(obs)
+
+    def test_preemption_probability_matches_erlang(self):
+        adversary = AdaptiveAdversary(RCAD_KNOWLEDGE)
+        self._feed_uniform(adversary, rate=1.0)
+        expected = erlang_b(1.0 * 30.0, 10)
+        assert adversary.preemption_probability() == pytest.approx(expected, rel=0.05)
+
+    def test_reset_clears_state(self):
+        adversary = AdaptiveAdversary(RCAD_KNOWLEDGE)
+        self._feed_uniform(adversary, rate=2.0)
+        adversary.reset()
+        assert adversary.observed_rate is None
+        assert not adversary.in_preemption_regime()
+
+    def test_requires_capacity_and_delay(self):
+        with pytest.raises(ValueError):
+            AdaptiveAdversary(FlowKnowledge(mean_delay_per_hop=30.0))
+        with pytest.raises(ValueError):
+            AdaptiveAdversary(FlowKnowledge(buffer_capacity=10))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveAdversary(RCAD_KNOWLEDGE, preemption_threshold=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveAdversary(RCAD_KNOWLEDGE, warmup_observations=1)
+
+
+class TestPathAwareAdversary:
+    PATH_RATES = {103: [0.5] * 4 + [0.75] * 2 + [1.0] * 9}
+
+    def test_unsaturated_path_equals_baseline(self):
+        light = {103: [0.01] * 15}
+        adversary = PathAwareAdaptiveAdversary(RCAD_KNOWLEDGE, path_rates=light)
+        baseline = BaselineAdversary(RCAD_KNOWLEDGE)
+        obs = _obs(arrival=1000.0)
+        assert adversary.estimate(obs) == pytest.approx(baseline.estimate(obs))
+
+    def test_saturated_hops_use_drain_time(self):
+        adversary = PathAwareAdaptiveAdversary(
+            RCAD_KNOWLEDGE, path_rates=self.PATH_RATES
+        )
+        # Every node saturated (rho from 15 to 30 on k=10):
+        # delay = sum min(30, 10/rate) = 4*20 + 2*13.33 + 9*10 = 196.67.
+        obs = _obs(arrival=1000.0, hops=15)
+        expected = 1000.0 - 15 * 1.0 - (4 * 20.0 + 2 * (10 / 0.75) + 9 * 10.0)
+        assert adversary.estimate(obs) == pytest.approx(expected)
+
+    def test_unknown_origin_raises(self):
+        adversary = PathAwareAdaptiveAdversary(
+            RCAD_KNOWLEDGE, path_rates=self.PATH_RATES
+        )
+        with pytest.raises(KeyError):
+            adversary.estimate(_obs(arrival=10.0, origin=999))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PathAwareAdaptiveAdversary(RCAD_KNOWLEDGE, path_rates={})
+        with pytest.raises(ValueError):
+            PathAwareAdaptiveAdversary(
+                FlowKnowledge(mean_delay_per_hop=30.0), path_rates=self.PATH_RATES
+            )
+        with pytest.raises(ValueError):
+            PathAwareAdaptiveAdversary(
+                RCAD_KNOWLEDGE, path_rates=self.PATH_RATES, preemption_threshold=1.5
+            )

@@ -1,0 +1,227 @@
+"""Unit tests for the delay distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.delays import (
+    ConstantDelay,
+    ErlangDelay,
+    ExponentialDelay,
+    ParetoDelay,
+    UniformDelay,
+)
+from repro.infotheory.entropy import exponential_entropy
+
+
+def _rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def _sample_mean(distribution, n=40_000, seed=0):
+    rng = _rng(seed)
+    return float(np.mean([distribution.sample(rng) for _ in range(n)]))
+
+
+class TestExponentialDelay:
+    def test_mean(self):
+        assert ExponentialDelay(rate=1 / 30.0).mean == pytest.approx(30.0)
+
+    def test_from_mean(self):
+        assert ExponentialDelay.from_mean(30.0).rate == pytest.approx(1 / 30.0)
+
+    def test_sample_mean_matches(self):
+        assert _sample_mean(ExponentialDelay.from_mean(30.0)) == pytest.approx(
+            30.0, rel=0.03
+        )
+
+    def test_entropy_matches_closed_form(self):
+        d = ExponentialDelay(rate=0.2)
+        assert d.entropy == pytest.approx(exponential_entropy(0.2))
+
+    def test_scaled(self):
+        assert ExponentialDelay.from_mean(10.0).scaled(3.0).mean == pytest.approx(30.0)
+
+    def test_samples_nonnegative(self):
+        rng = _rng(1)
+        d = ExponentialDelay.from_mean(5.0)
+        assert all(d.sample(rng) >= 0 for _ in range(1000))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDelay(rate=0.0)
+        with pytest.raises(ValueError):
+            ExponentialDelay.from_mean(-1.0)
+        with pytest.raises(ValueError):
+            ExponentialDelay(rate=1.0).scaled(0.0)
+
+    @given(st.floats(min_value=0.01, max_value=1000.0))
+    def test_from_mean_roundtrip(self, mean):
+        assert ExponentialDelay.from_mean(mean).mean == pytest.approx(mean)
+
+
+class TestUniformDelay:
+    def test_mean(self):
+        assert UniformDelay(10.0, 20.0).mean == 15.0
+
+    def test_from_mean_spans_zero_to_twice(self):
+        d = UniformDelay.from_mean(30.0)
+        assert (d.low, d.high) == (0.0, 60.0)
+        assert d.mean == 30.0
+
+    def test_samples_in_range(self):
+        rng = _rng(2)
+        d = UniformDelay(5.0, 7.0)
+        samples = [d.sample(rng) for _ in range(1000)]
+        assert all(5.0 <= s <= 7.0 for s in samples)
+
+    def test_entropy(self):
+        assert UniformDelay(0.0, math.e).entropy == pytest.approx(1.0)
+
+    def test_scaled(self):
+        d = UniformDelay(2.0, 4.0).scaled(2.0)
+        assert (d.low, d.high) == (4.0, 8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformDelay(5.0, 5.0)
+        with pytest.raises(ValueError):
+            UniformDelay(-1.0, 5.0)
+
+
+class TestConstantDelay:
+    def test_sample_is_constant(self):
+        rng = _rng(3)
+        d = ConstantDelay(12.0)
+        assert {d.sample(rng) for _ in range(10)} == {12.0}
+
+    def test_entropy_is_negative_infinity(self):
+        assert ConstantDelay(5.0).entropy == -math.inf
+
+    def test_zero_allowed(self):
+        assert ConstantDelay(0.0).mean == 0.0
+
+    def test_scaled(self):
+        assert ConstantDelay(5.0).scaled(2.0).value == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantDelay(-1.0)
+
+
+class TestErlangDelay:
+    def test_mean(self):
+        assert ErlangDelay(shape=3, rate=0.1).mean == pytest.approx(30.0)
+
+    def test_from_mean(self):
+        d = ErlangDelay.from_mean(30.0, shape=5)
+        assert d.mean == pytest.approx(30.0)
+        assert d.shape == 5
+
+    def test_shape_one_sampling_matches_exponential_mean(self):
+        assert _sample_mean(ErlangDelay(shape=1, rate=0.1)) == pytest.approx(
+            10.0, rel=0.03
+        )
+
+    def test_entropy_below_exponential_at_same_mean(self):
+        """Higher shape concentrates the delay -> less entropy."""
+        exp_like = ErlangDelay.from_mean(30.0, shape=1)
+        concentrated = ErlangDelay.from_mean(30.0, shape=8)
+        assert concentrated.entropy < exp_like.entropy
+
+    def test_variance_shrinks_with_shape(self):
+        rng = _rng(4)
+        wide = np.var([ErlangDelay.from_mean(30.0, 1).sample(rng) for _ in range(5000)])
+        narrow = np.var([ErlangDelay.from_mean(30.0, 8).sample(rng) for _ in range(5000)])
+        assert narrow < wide
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErlangDelay(shape=0, rate=1.0)
+        with pytest.raises(ValueError):
+            ErlangDelay(shape=2, rate=0.0)
+
+
+class TestParetoDelay:
+    def test_mean(self):
+        d = ParetoDelay.from_mean(30.0, shape=2.5)
+        assert d.mean == pytest.approx(30.0)
+
+    def test_sample_mean_matches(self):
+        assert _sample_mean(ParetoDelay.from_mean(30.0, shape=3.0)) == pytest.approx(
+            30.0, rel=0.05
+        )
+
+    def test_samples_above_scale(self):
+        rng = _rng(6)
+        d = ParetoDelay(scale=5.0, shape=2.0)
+        assert all(d.sample(rng) >= 5.0 for _ in range(500))
+
+    def test_entropy_below_exponential_at_same_mean(self):
+        """Heavy tails do not beat the max-entropy exponential."""
+        pareto = ParetoDelay.from_mean(30.0, shape=2.5)
+        assert pareto.entropy < ExponentialDelay.from_mean(30.0).entropy
+
+    def test_entropy_matches_monte_carlo(self):
+        """Cross-check the closed form against a histogram estimate."""
+        d = ParetoDelay(scale=10.0, shape=3.0)
+        rng = _rng(7)
+        samples = np.array([d.sample(rng) for _ in range(150_000)])
+        samples = samples[samples < np.quantile(samples, 0.999)]
+        hist, edges = np.histogram(samples, bins=400, density=True)
+        widths = np.diff(edges)
+        mask = hist > 0
+        empirical = -np.sum(hist[mask] * np.log(hist[mask]) * widths[mask])
+        assert d.entropy == pytest.approx(empirical, abs=0.1)
+
+    def test_heavier_tail_than_exponential(self):
+        """At the same mean, the Pareto's p999 dwarfs the exponential's."""
+        rng = _rng(8)
+        pareto = ParetoDelay.from_mean(30.0, shape=1.5)
+        exponential = ExponentialDelay.from_mean(30.0)
+        p_tail = np.quantile([pareto.sample(rng) for _ in range(20000)], 0.999)
+        e_tail = np.quantile([exponential.sample(rng) for _ in range(20000)], 0.999)
+        assert p_tail > 2 * e_tail
+
+    def test_scaled(self):
+        d = ParetoDelay.from_mean(10.0, shape=2.0).scaled(3.0)
+        assert d.mean == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParetoDelay(scale=0.0, shape=2.0)
+        with pytest.raises(ValueError):
+            ParetoDelay(scale=1.0, shape=1.0)  # infinite mean
+        with pytest.raises(ValueError):
+            ParetoDelay.from_mean(-1.0)
+
+
+class TestPolymorphism:
+    def test_all_report_mean_and_entropy(self):
+        rng = _rng(5)
+        for d in (
+            ExponentialDelay.from_mean(30.0),
+            UniformDelay.from_mean(30.0),
+            ConstantDelay(30.0),
+            ErlangDelay.from_mean(30.0, shape=3),
+        ):
+            assert d.mean == pytest.approx(30.0)
+            assert isinstance(d.entropy, float)
+            assert d.sample(rng) >= 0.0
+
+    def test_exponential_is_max_entropy_at_fixed_mean(self):
+        """The paper's design argument, across the implemented families."""
+        mean = 30.0
+        exp_entropy = ExponentialDelay.from_mean(mean).entropy
+        for other in (
+            UniformDelay.from_mean(mean),
+            ConstantDelay(mean),
+            ErlangDelay.from_mean(mean, shape=2),
+            ErlangDelay.from_mean(mean, shape=10),
+            ParetoDelay.from_mean(mean, shape=1.5),
+            ParetoDelay.from_mean(mean, shape=4.0),
+        ):
+            assert other.entropy <= exp_entropy

@@ -1,0 +1,138 @@
+"""Unit tests for the delay-budget optimizer."""
+
+import pytest
+
+from repro.core.optimizer import VarianceOptimalPlanner, optimize_path_delays
+from repro.core.planner import UniformPlanner
+from repro.net.routing import RoutingTree
+from repro.queueing.erlang import erlang_b, offered_load_for_target_loss
+
+# Line 4 -> 3 -> 2 -> 1 -> 0(sink), side branch 5 -> 2.
+TREE = RoutingTree(parent={4: 3, 3: 2, 2: 1, 1: 0, 5: 2}, sink=0)
+
+
+class TestOptimizePathDelays:
+    def test_budget_spent_when_feasible(self):
+        allocation = optimize_path_delays(
+            path_rates=[0.1, 0.2, 0.4], latency_budget=30.0,
+            buffer_capacity=10, target_loss=0.1,
+        )
+        assert allocation.latency_used == pytest.approx(30.0)
+
+    def test_concentrates_on_low_rate_nodes(self):
+        """The far-from-sink node (smallest lambda) fills first."""
+        allocation = optimize_path_delays(
+            path_rates=[0.1, 0.2, 0.4], latency_budget=30.0,
+            buffer_capacity=10, target_loss=0.1,
+        )
+        assert allocation.means[0] >= allocation.means[1] >= allocation.means[2]
+
+    def test_beats_uniform_split_on_variance(self):
+        rates = [0.1, 0.2, 0.4, 0.8]
+        budget = 40.0
+        optimal = optimize_path_delays(rates, budget, 10, 0.1)
+        uniform_variance = len(rates) * (budget / len(rates)) ** 2
+        assert optimal.achieved_variance >= uniform_variance
+
+    def test_respects_buffer_caps(self):
+        rates = [0.5, 1.0, 2.0]
+        allocation = optimize_path_delays(rates, 100.0, 10, 0.05)
+        rho_max = offered_load_for_target_loss(10, 0.05)
+        for rate, mean in zip(rates, allocation.means):
+            assert rate * mean <= rho_max + 1e-9
+            assert erlang_b(rate * mean, 10) <= 0.05 + 1e-9
+
+    def test_caps_bind_when_budget_exceeds_capacity(self):
+        rates = [1.0, 1.0]
+        allocation = optimize_path_delays(rates, 1000.0, 10, 0.05)
+        assert allocation.latency_used < 1000.0
+        assert set(allocation.binding_nodes) == {0, 1}
+
+    def test_single_node_gets_everything_up_to_cap(self):
+        allocation = optimize_path_delays([0.01], 50.0, 10, 0.1)
+        assert allocation.means == (50.0,)
+        assert allocation.achieved_variance == pytest.approx(2500.0)
+
+    def test_zero_rate_node_is_uncapped(self):
+        allocation = optimize_path_delays([0.0, 5.0], 20.0, 10, 0.05)
+        assert allocation.means[0] == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimize_path_delays([], 10.0, 10, 0.1)
+        with pytest.raises(ValueError):
+            optimize_path_delays([0.1], 0.0, 10, 0.1)
+        with pytest.raises(ValueError):
+            optimize_path_delays([-0.1], 10.0, 10, 0.1)
+
+    def test_vertex_optimality_against_random_feasible_points(self, rng):
+        """No random feasible allocation beats the greedy vertex."""
+        rates = [0.2, 0.4, 0.8, 1.6]
+        budget = 25.0
+        optimal = optimize_path_delays(rates, budget, 10, 0.1)
+        rho_max = offered_load_for_target_loss(10, 0.1)
+        caps = [rho_max / r for r in rates]
+        for _ in range(300):
+            weights = rng.dirichlet([1.0] * len(rates))
+            candidate = [min(w * budget, c) for w, c in zip(weights, caps)]
+            # Candidate respects both constraint families by build.
+            assert sum(m * m for m in candidate) <= (
+                optimal.achieved_variance + 1e-9
+            )
+
+
+class TestVarianceOptimalPlanner:
+    FLOWS = {4: 0.25, 5: 0.25}
+
+    def _planner(self, budget=120.0):
+        return VarianceOptimalPlanner(
+            source=4, latency_budget=budget, buffer_capacity=10,
+            target_loss=0.1, fallback_mean_delay=30.0,
+        )
+
+    def test_path_nodes_planned_others_fall_back(self):
+        plan = self._planner().plan(TREE, self.FLOWS)
+        # Node 4 (far, lambda=0.25) gets far more than node 1 (near,
+        # lambda=0.5 aggregate).
+        assert plan.distribution_for(4).mean > plan.distribution_for(1).mean
+        assert plan.distribution_for(5).mean == pytest.approx(30.0)
+
+    def test_total_path_delay_within_budget(self):
+        budget = 120.0
+        plan = self._planner(budget).plan(TREE, self.FLOWS)
+        assert plan.mean_path_delay(TREE, 4) <= budget + 1e-6
+
+    def test_variance_dominates_feasible_uniform(self):
+        """The optimum beats the best uniform split that also respects
+        every node's buffer cap (an unconstrained uniform split can
+        post more variance only by overloading the trunk buffers)."""
+        budget = 120.0
+        plan = self._planner(budget).plan(TREE, self.FLOWS)
+        path = TREE.path(4)[:-1]
+        rho_max = offered_load_for_target_loss(10, 0.1)
+        rates = {4: 0.25, 3: 0.25, 2: 0.5, 1: 0.5}
+        feasible_uniform = min(
+            budget / len(path), min(rho_max / rates[n] for n in path)
+        )
+        uniform = UniformPlanner(feasible_uniform).plan(TREE, self.FLOWS)
+        optimal_variance = sum(plan.distribution_for(n).mean ** 2 for n in path)
+        uniform_variance = sum(uniform.distribution_for(n).mean ** 2 for n in path)
+        assert optimal_variance > uniform_variance
+
+    def test_shared_trunk_capped_by_aggregate_load(self):
+        plan = self._planner(budget=1000.0).plan(TREE, self.FLOWS)
+        rho_max = offered_load_for_target_loss(10, 0.1)
+        # Node 2 carries both flows (aggregate 0.5).
+        assert plan.distribution_for(2).mean * 0.5 <= rho_max + 1e-6
+
+    def test_unknown_source_rejected(self):
+        planner = VarianceOptimalPlanner(
+            source=99, latency_budget=10.0, buffer_capacity=10,
+            target_loss=0.1, fallback_mean_delay=30.0,
+        )
+        with pytest.raises(ValueError):
+            planner.plan(TREE, self.FLOWS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VarianceOptimalPlanner(4, 10.0, 10, 0.1, fallback_mean_delay=0.0)

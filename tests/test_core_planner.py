@@ -1,0 +1,129 @@
+"""Unit tests for the hop-delay planners."""
+
+import pytest
+
+from repro.core.delays import ExponentialDelay
+from repro.core.planner import (
+    DelayPlan,
+    ErlangTargetPlanner,
+    SinkWeightedPlanner,
+    UniformPlanner,
+)
+from repro.net.routing import RoutingTree
+from repro.queueing.erlang import erlang_b
+
+# A 4-hop line 4 -> 3 -> 2 -> 1 -> 0(sink) plus a side branch 5 -> 2.
+TREE = RoutingTree(parent={4: 3, 3: 2, 2: 1, 1: 0, 5: 2}, sink=0)
+FLOWS = {4: 0.25, 5: 0.25}
+
+
+class TestDelayPlan:
+    def test_per_node_lookup_with_default(self):
+        plan = DelayPlan(
+            per_node={3: ExponentialDelay.from_mean(10.0)},
+            default=ExponentialDelay.from_mean(30.0),
+        )
+        assert plan.distribution_for(3).mean == 10.0
+        assert plan.distribution_for(4).mean == 30.0
+
+    def test_missing_node_without_default_raises(self):
+        plan = DelayPlan(per_node={}, default=None)
+        with pytest.raises(KeyError):
+            plan.distribution_for(1)
+
+    def test_mean_path_delay(self):
+        plan = DelayPlan(per_node={}, default=ExponentialDelay.from_mean(30.0))
+        # Source 4 buffers at 4, 3, 2, 1 -> 4 nodes.
+        assert plan.mean_path_delay(TREE, 4) == pytest.approx(120.0)
+
+
+class TestUniformPlanner:
+    def test_constant_mean_everywhere(self):
+        plan = UniformPlanner(30.0).plan(TREE, FLOWS)
+        for node in (1, 2, 3, 4, 5):
+            assert plan.distribution_for(node).mean == pytest.approx(30.0)
+
+    def test_zero_delay_rejected_at_plan_time(self):
+        with pytest.raises(ValueError):
+            UniformPlanner(0.0).plan(TREE, FLOWS)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            UniformPlanner(-1.0)
+
+
+class TestSinkWeightedPlanner:
+    def test_deeper_nodes_get_longer_delays(self):
+        plan = SinkWeightedPlanner(30.0).plan(TREE, FLOWS)
+        means = [plan.distribution_for(node).mean for node in (1, 2, 3, 4)]
+        assert means == sorted(means)
+        assert means[0] < means[-1]
+
+    def test_budget_preserved_for_deepest_flow(self):
+        """Total mean path delay of the deepest flow equals uniform's."""
+        plan = SinkWeightedPlanner(30.0).plan(TREE, FLOWS)
+        assert plan.mean_path_delay(TREE, 4) == pytest.approx(4 * 30.0)
+
+    def test_exponent_zero_is_uniform(self):
+        plan = SinkWeightedPlanner(30.0, exponent=0.0).plan(TREE, FLOWS)
+        for node in (1, 2, 3, 4):
+            assert plan.distribution_for(node).mean == pytest.approx(30.0)
+
+    def test_higher_exponent_more_skew(self):
+        gentle = SinkWeightedPlanner(30.0, exponent=1.0).plan(TREE, FLOWS)
+        steep = SinkWeightedPlanner(30.0, exponent=2.0).plan(TREE, FLOWS)
+        assert (
+            steep.distribution_for(4).mean > gentle.distribution_for(4).mean
+        )
+        assert steep.distribution_for(1).mean < gentle.distribution_for(1).mean
+
+    def test_all_flow_nodes_covered(self):
+        plan = SinkWeightedPlanner(30.0).plan(TREE, FLOWS)
+        for node in (1, 2, 3, 4, 5):
+            assert plan.distribution_for(node).mean > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SinkWeightedPlanner(0.0)
+        with pytest.raises(ValueError):
+            SinkWeightedPlanner(30.0, exponent=-1.0)
+        with pytest.raises(ValueError):
+            SinkWeightedPlanner(30.0).plan(TREE, {})
+
+
+class TestErlangTargetPlanner:
+    def test_every_node_meets_target(self):
+        planner = ErlangTargetPlanner(buffer_capacity=10, target_loss=0.05)
+        plan = planner.plan(TREE, FLOWS)
+        # Aggregate rates: node 4 and 5 carry 0.25; 3 carries 0.25;
+        # 2 and 1 carry 0.5.
+        rates = {4: 0.25, 5: 0.25, 3: 0.25, 2: 0.5, 1: 0.5}
+        for node, rate in rates.items():
+            rho = rate * plan.distribution_for(node).mean
+            assert erlang_b(rho, 10) <= 0.05 + 1e-9
+
+    def test_near_sink_nodes_get_shorter_delays(self):
+        """The paper's rule: larger lambda -> smaller 1/mu."""
+        plan = ErlangTargetPlanner(10, 0.05).plan(TREE, FLOWS)
+        assert plan.distribution_for(1).mean < plan.distribution_for(4).mean
+
+    def test_cap_applies(self):
+        planner = ErlangTargetPlanner(10, 0.05, max_mean_delay=10.0)
+        plan = planner.plan(TREE, {4: 0.001, 5: 0.001})
+        for node in (1, 2, 3, 4, 5):
+            assert plan.distribution_for(node).mean <= 10.0
+
+    def test_no_default_for_uninvolved_nodes(self):
+        plan = ErlangTargetPlanner(10, 0.05).plan(TREE, FLOWS)
+        with pytest.raises(KeyError):
+            plan.distribution_for(999)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErlangTargetPlanner(0, 0.05)
+        with pytest.raises(ValueError):
+            ErlangTargetPlanner(10, 1.5)
+        with pytest.raises(ValueError):
+            ErlangTargetPlanner(10, 0.05, max_mean_delay=0.0)
+        with pytest.raises(ValueError):
+            ErlangTargetPlanner(10, 0.05).plan(TREE, {})

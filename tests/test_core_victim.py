@@ -1,0 +1,112 @@
+"""Unit tests for RCAD victim-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffers import BufferedEntry
+from repro.core.victim import (
+    LongestRemainingDelay,
+    NewestArrival,
+    OldestArrival,
+    RandomVictim,
+    ShortestRemainingDelay,
+)
+
+
+def _entry(entry_id, arrival, release):
+    return BufferedEntry(
+        entry_id=entry_id, payload=f"p{entry_id}", arrival_time=arrival,
+        release_time=release,
+    )
+
+
+ENTRIES = [
+    _entry(0, arrival=1.0, release=20.0),
+    _entry(1, arrival=3.0, release=5.0),   # shortest remaining
+    _entry(2, arrival=2.0, release=40.0),  # longest remaining
+    _entry(3, arrival=0.5, release=30.0),  # oldest arrival
+    _entry(4, arrival=4.0, release=25.0),  # newest arrival
+]
+
+RNG = np.random.Generator(np.random.PCG64(0))
+
+
+class TestDeterministicPolicies:
+    def test_shortest_remaining(self):
+        assert ShortestRemainingDelay().select(ENTRIES, now=4.0, rng=RNG).entry_id == 1
+
+    def test_longest_remaining(self):
+        assert LongestRemainingDelay().select(ENTRIES, now=4.0, rng=RNG).entry_id == 2
+
+    def test_oldest_arrival(self):
+        assert OldestArrival().select(ENTRIES, now=4.0, rng=RNG).entry_id == 3
+
+    def test_newest_arrival(self):
+        assert NewestArrival().select(ENTRIES, now=4.0, rng=RNG).entry_id == 4
+
+    def test_single_entry(self):
+        only = [ENTRIES[0]]
+        for policy in (
+            ShortestRemainingDelay(),
+            LongestRemainingDelay(),
+            OldestArrival(),
+            NewestArrival(),
+            RandomVictim(),
+        ):
+            assert policy.select(only, now=1.0, rng=RNG) is ENTRIES[0]
+
+    def test_tie_broken_by_entry_id(self):
+        tied = [_entry(7, 0.0, 10.0), _entry(3, 0.0, 10.0)]
+        assert ShortestRemainingDelay().select(tied, now=0.0, rng=RNG).entry_id == 3
+        assert OldestArrival().select(tied, now=0.0, rng=RNG).entry_id == 3
+
+    def test_policies_do_not_mutate_entries(self):
+        snapshot = [(e.entry_id, e.release_time) for e in ENTRIES]
+        ShortestRemainingDelay().select(ENTRIES, now=4.0, rng=RNG)
+        assert [(e.entry_id, e.release_time) for e in ENTRIES] == snapshot
+
+    def test_names(self):
+        assert ShortestRemainingDelay().name == "shortest-remaining"
+        assert LongestRemainingDelay().name == "longest-remaining"
+        assert RandomVictim().name == "random"
+        assert OldestArrival().name == "oldest-arrival"
+        assert NewestArrival().name == "newest-arrival"
+
+
+class TestRandomVictim:
+    def test_selects_among_entries(self):
+        rng = np.random.Generator(np.random.PCG64(1))
+        chosen = {RandomVictim().select(ENTRIES, 4.0, rng).entry_id for _ in range(200)}
+        assert chosen == {0, 1, 2, 3, 4}
+
+    def test_reproducible_with_seed(self):
+        a = np.random.Generator(np.random.PCG64(5))
+        b = np.random.Generator(np.random.PCG64(5))
+        policy = RandomVictim()
+        seq_a = [policy.select(ENTRIES, 4.0, a).entry_id for _ in range(20)]
+        seq_b = [policy.select(ENTRIES, 4.0, b).entry_id for _ in range(20)]
+        assert seq_a == seq_b
+
+
+class TestEmptyBuffer:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            ShortestRemainingDelay(),
+            LongestRemainingDelay(),
+            RandomVictim(),
+            OldestArrival(),
+            NewestArrival(),
+        ],
+        ids=lambda p: p.name,
+    )
+    def test_empty_selection_rejected(self, policy):
+        with pytest.raises(ValueError):
+            policy.select([], now=0.0, rng=RNG)
+
+
+class TestRemainingDelayHelper:
+    def test_remaining_delay(self):
+        entry = _entry(0, arrival=1.0, release=20.0)
+        assert entry.remaining_delay(now=5.0) == 15.0
+        assert entry.remaining_delay(now=25.0) == 0.0

@@ -1,0 +1,128 @@
+"""Unit tests for key management and payload sealing."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.keys import KeyManager
+from repro.crypto.payload import PayloadCodec, SensorReading
+
+MASTER = bytes(range(16))
+
+
+class TestKeyManager:
+    def test_derivation_is_deterministic(self):
+        assert KeyManager(MASTER).node_keys(5) == KeyManager(MASTER).node_keys(5)
+
+    def test_nodes_get_distinct_keys(self):
+        manager = KeyManager(MASTER)
+        assert manager.node_keys(1).encryption_key != manager.node_keys(2).encryption_key
+        assert manager.node_keys(1).mac_key != manager.node_keys(2).mac_key
+
+    def test_enc_and_mac_keys_differ(self):
+        keys = KeyManager(MASTER).node_keys(7)
+        assert keys.encryption_key != keys.mac_key
+
+    def test_key_sizes(self):
+        keys = KeyManager(MASTER).node_keys(3)
+        assert len(keys.encryption_key) == 16
+        assert len(keys.mac_key) == 16
+
+    def test_different_masters_different_keys(self):
+        a = KeyManager(MASTER).node_keys(1)
+        b = KeyManager(bytes(16)).node_keys(1)
+        assert a.encryption_key != b.encryption_key
+
+    def test_wrong_master_length_rejected(self):
+        with pytest.raises(ValueError):
+            KeyManager(bytes(8))
+
+    def test_negative_node_id_rejected(self):
+        with pytest.raises(ValueError):
+            KeyManager(MASTER).node_keys(-1)
+
+    def test_caching_returns_same_object(self):
+        manager = KeyManager(MASTER)
+        assert manager.node_keys(2) is manager.node_keys(2)
+
+
+class TestSensorReading:
+    def test_pack_unpack_roundtrip(self):
+        reading = SensorReading(created_at=17.25, app_seq=3, value=-21.5)
+        assert SensorReading.unpack(reading.pack()) == reading
+
+    @given(
+        st.floats(min_value=0, max_value=1e12, allow_nan=False),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+    )
+    def test_roundtrip_property(self, created_at, seq, value):
+        reading = SensorReading(created_at=created_at, app_seq=seq, value=value)
+        restored = SensorReading.unpack(reading.pack())
+        assert restored.created_at == created_at
+        assert restored.app_seq == seq
+
+
+class TestPayloadCodec:
+    def _codec(self):
+        return PayloadCodec(KeyManager(MASTER))
+
+    def test_seal_open_roundtrip(self):
+        codec = self._codec()
+        reading = SensorReading(created_at=100.5, app_seq=7, value=3.14)
+        assert codec.open(codec.seal(12, reading)) == reading
+
+    def test_ciphertext_hides_timestamp(self):
+        """The timestamp bytes must not appear in the sealed payload."""
+        codec = self._codec()
+        reading = SensorReading(created_at=12345.0, app_seq=1, value=0.0)
+        sealed = codec.seal(3, reading)
+        assert reading.pack() != sealed.ciphertext
+        assert reading.pack()[:8] not in sealed.ciphertext
+
+    def test_tampered_ciphertext_rejected(self):
+        codec = self._codec()
+        sealed = codec.seal(3, SensorReading(1.0, 0, 0.0))
+        tampered = dataclasses.replace(
+            sealed, ciphertext=bytes([sealed.ciphertext[0] ^ 1]) + sealed.ciphertext[1:]
+        )
+        with pytest.raises(ValueError):
+            codec.open(tampered)
+
+    def test_tampered_tag_rejected(self):
+        codec = self._codec()
+        sealed = codec.seal(3, SensorReading(1.0, 0, 0.0))
+        tampered = dataclasses.replace(
+            sealed, tag=bytes([sealed.tag[0] ^ 1]) + sealed.tag[1:]
+        )
+        with pytest.raises(ValueError):
+            codec.open(tampered)
+
+    def test_origin_spoofing_rejected(self):
+        """Re-attributing a sealed payload to another node must fail."""
+        codec = self._codec()
+        sealed = codec.seal(3, SensorReading(1.0, 0, 0.0))
+        spoofed = dataclasses.replace(sealed, origin_id=4)
+        with pytest.raises(ValueError):
+            codec.open(spoofed)
+
+    def test_nonce_spoofing_rejected(self):
+        codec = self._codec()
+        sealed = codec.seal(3, SensorReading(1.0, 5, 0.0))
+        spoofed = dataclasses.replace(sealed, nonce=6)
+        with pytest.raises(ValueError):
+            codec.open(spoofed)
+
+    def test_same_reading_different_nodes_differ(self):
+        codec = self._codec()
+        reading = SensorReading(9.0, 2, 1.0)
+        assert codec.seal(1, reading).ciphertext != codec.seal(2, reading).ciphertext
+
+    def test_sequence_numbers_randomize_ciphertexts(self):
+        """CTR nonces from app_seq make equal values unlinkable."""
+        codec = self._codec()
+        a = codec.seal(1, SensorReading(9.0, 1, 1.0))
+        b = codec.seal(1, SensorReading(9.0, 2, 1.0))
+        assert a.ciphertext != b.ciphertext

@@ -1,0 +1,113 @@
+"""Unit tests for CTR mode and CBC-MAC."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.mac import CbcMac
+from repro.crypto.modes import CtrCipher, ctr_keystream
+from repro.crypto.speck import Speck64_128
+
+KEY = bytes(range(16))
+
+
+class TestCtrKeystream:
+    def test_length_exact(self):
+        cipher = Speck64_128(KEY)
+        for length in (0, 1, 7, 8, 9, 64, 65):
+            assert len(ctr_keystream(cipher, nonce=0, length=length)) == length
+
+    def test_deterministic(self):
+        cipher = Speck64_128(KEY)
+        assert ctr_keystream(cipher, 5, 32) == ctr_keystream(cipher, 5, 32)
+
+    def test_nonce_changes_stream(self):
+        cipher = Speck64_128(KEY)
+        assert ctr_keystream(cipher, 1, 32) != ctr_keystream(cipher, 2, 32)
+
+    def test_prefix_property(self):
+        """A shorter request is a prefix of a longer one (same nonce)."""
+        cipher = Speck64_128(KEY)
+        long = ctr_keystream(cipher, 9, 64)
+        short = ctr_keystream(cipher, 9, 20)
+        assert long[:20] == short
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            ctr_keystream(Speck64_128(KEY), 0, -1)
+
+    def test_nonce_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ctr_keystream(Speck64_128(KEY), 2**32, 8)
+        with pytest.raises(ValueError):
+            ctr_keystream(Speck64_128(KEY), -1, 8)
+
+
+class TestCtrCipher:
+    def test_roundtrip(self):
+        ctr = CtrCipher(KEY)
+        message = b"sensor reading @ t=17.25, seq=3"
+        assert ctr.decrypt(ctr.encrypt(message, nonce=3), nonce=3) == message
+
+    def test_wrong_nonce_garbles(self):
+        ctr = CtrCipher(KEY)
+        message = b"confidential"
+        assert ctr.decrypt(ctr.encrypt(message, nonce=1), nonce=2) != message
+
+    def test_ciphertext_differs_from_plaintext(self):
+        ctr = CtrCipher(KEY)
+        message = b"plaintext bytes!"
+        assert ctr.encrypt(message, nonce=0) != message
+
+    def test_empty_message(self):
+        ctr = CtrCipher(KEY)
+        assert ctr.encrypt(b"", nonce=0) == b""
+
+    @given(st.binary(max_size=100), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip_property(self, message, nonce):
+        ctr = CtrCipher(KEY)
+        assert ctr.decrypt(ctr.encrypt(message, nonce), nonce) == message
+
+
+class TestCbcMac:
+    def test_verify_accepts_genuine_tag(self):
+        mac = CbcMac(KEY)
+        assert mac.verify(b"hello sensors", mac.tag(b"hello sensors"))
+
+    def test_verify_rejects_tampered_message(self):
+        mac = CbcMac(KEY)
+        tag = mac.tag(b"hello sensors")
+        assert not mac.verify(b"hello sensorz", tag)
+
+    def test_verify_rejects_tampered_tag(self):
+        mac = CbcMac(KEY)
+        tag = bytearray(mac.tag(b"hello"))
+        tag[0] ^= 1
+        assert not mac.verify(b"hello", bytes(tag))
+
+    def test_tag_is_deterministic(self):
+        mac = CbcMac(KEY)
+        assert mac.tag(b"abc") == mac.tag(b"abc")
+
+    def test_different_keys_different_tags(self):
+        assert CbcMac(bytes(16)).tag(b"abc") != CbcMac(KEY).tag(b"abc")
+
+    def test_length_prepend_blocks_prefix_confusion(self):
+        """m and m || 0x00 padding must not collide (length is MACed)."""
+        mac = CbcMac(KEY)
+        assert mac.tag(b"abc") != mac.tag(b"abc\x00")
+        assert mac.tag(b"") != mac.tag(b"\x00" * 8)
+
+    def test_tag_size(self):
+        assert len(CbcMac(KEY).tag(b"x")) == CbcMac.tag_size
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_distinct_messages_distinct_tags(self, a, b):
+        mac = CbcMac(KEY)
+        if a != b:
+            assert mac.tag(a) != mac.tag(b)
+
+    @given(st.binary(max_size=128))
+    def test_verify_roundtrip_property(self, message):
+        mac = CbcMac(KEY)
+        assert mac.verify(message, mac.tag(message))

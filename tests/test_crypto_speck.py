@@ -1,0 +1,86 @@
+"""Unit tests for the Speck64/128 block cipher."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.speck import Speck64_128
+
+# Official Speck64/128 test vector (Beaulieu et al., 2013), little-endian
+# byte layout: key 1b1a1918 13121110 0b0a0908 03020100, plaintext
+# "eans Fat" segment 3b726574 7475432d, ciphertext 8c6fa548 454e028b.
+VECTOR_KEY = bytes(
+    [0x00, 0x01, 0x02, 0x03, 0x08, 0x09, 0x0A, 0x0B,
+     0x10, 0x11, 0x12, 0x13, 0x18, 0x19, 0x1A, 0x1B]
+)
+VECTOR_PLAINTEXT = bytes([0x2D, 0x43, 0x75, 0x74, 0x74, 0x65, 0x72, 0x3B])
+VECTOR_CIPHERTEXT = bytes([0x8B, 0x02, 0x4E, 0x45, 0x48, 0xA5, 0x6F, 0x8C])
+
+
+class TestSpeckVectors:
+    def test_official_test_vector_encrypt(self):
+        cipher = Speck64_128(VECTOR_KEY)
+        assert cipher.encrypt_block(VECTOR_PLAINTEXT) == VECTOR_CIPHERTEXT
+
+    def test_official_test_vector_decrypt(self):
+        cipher = Speck64_128(VECTOR_KEY)
+        assert cipher.decrypt_block(VECTOR_CIPHERTEXT) == VECTOR_PLAINTEXT
+
+
+class TestSpeckBehaviour:
+    def test_roundtrip(self):
+        cipher = Speck64_128(bytes(range(16)))
+        block = b"\x01\x02\x03\x04\x05\x06\x07\x08"
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_encryption_changes_block(self):
+        cipher = Speck64_128(bytes(16))
+        block = bytes(8)
+        assert cipher.encrypt_block(block) != block
+
+    def test_different_keys_differ(self):
+        block = b"constant"
+        a = Speck64_128(bytes(16)).encrypt_block(block)
+        b = Speck64_128(bytes([1]) + bytes(15)).encrypt_block(block)
+        assert a != b
+
+    def test_deterministic(self):
+        cipher = Speck64_128(bytes(range(16)))
+        assert cipher.encrypt_block(b"12345678") == cipher.encrypt_block(b"12345678")
+
+    def test_single_bit_avalanche(self):
+        """Flipping one plaintext bit should flip roughly half the output."""
+        cipher = Speck64_128(bytes(range(16)))
+        a = cipher.encrypt_block(bytes(8))
+        b = cipher.encrypt_block(bytes([1]) + bytes(7))
+        differing = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert 16 <= differing <= 48  # 64-bit block, expect ~32
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            Speck64_128(bytes(15))
+        with pytest.raises(ValueError):
+            Speck64_128(bytes(17))
+
+    def test_non_bytes_key_rejected(self):
+        with pytest.raises(TypeError):
+            Speck64_128("0123456789abcdef")  # type: ignore[arg-type]
+
+    def test_wrong_block_length_rejected(self):
+        cipher = Speck64_128(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(bytes(7))
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(bytes(9))
+
+    @given(st.binary(min_size=8, max_size=8), st.binary(min_size=16, max_size=16))
+    def test_roundtrip_property(self, block, key):
+        cipher = Speck64_128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=8, max_size=8))
+    def test_encrypt_is_permutation(self, block):
+        """Distinct plaintexts map to distinct ciphertexts."""
+        cipher = Speck64_128(bytes(range(16)))
+        other = bytes([(block[0] + 1) % 256]) + block[1:]
+        assert cipher.encrypt_block(block) != cipher.encrypt_block(other)

@@ -1,0 +1,246 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.des import (
+    DesError,
+    EventCancelled,
+    Process,
+    ProcessEvent,
+    Simulator,
+    Timeout,
+    WaitEvent,
+)
+
+
+class TestTimeout:
+    def test_timeout_advances_process(self):
+        sim = Simulator()
+        trace = []
+
+        def body():
+            trace.append(sim.now)
+            yield Timeout(5.0)
+            trace.append(sim.now)
+
+        Process(sim, body())
+        sim.run()
+        assert trace == [0.0, 5.0]
+
+    def test_body_runs_to_first_yield_immediately(self):
+        sim = Simulator()
+        trace = []
+
+        def body():
+            trace.append("started")
+            yield Timeout(1.0)
+
+        Process(sim, body())
+        assert trace == ["started"]
+
+    def test_sequential_timeouts_accumulate(self):
+        sim = Simulator()
+        trace = []
+
+        def body():
+            for _ in range(3):
+                yield Timeout(2.0)
+                trace.append(sim.now)
+
+        Process(sim, body())
+        sim.run()
+        assert trace == [2.0, 4.0, 6.0]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_zero_timeout_allowed(self):
+        sim = Simulator()
+        done = []
+
+        def body():
+            yield Timeout(0.0)
+            done.append(sim.now)
+
+        Process(sim, body())
+        sim.run()
+        assert done == [0.0]
+
+
+class TestEvents:
+    def test_wait_event_resumes_with_value(self):
+        sim = Simulator()
+        event = ProcessEvent()
+        got = []
+
+        def waiter():
+            value = yield WaitEvent(event)
+            got.append((sim.now, value))
+
+        Process(sim, waiter())
+        sim.schedule(3.0, event.trigger, "payload")
+        sim.run()
+        assert got == [(3.0, "payload")]
+
+    def test_bare_event_yield_also_waits(self):
+        sim = Simulator()
+        event = ProcessEvent()
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append(value)
+
+        Process(sim, waiter())
+        sim.schedule(1.0, event.trigger, 42)
+        sim.run()
+        assert got == [42]
+
+    def test_already_triggered_event_resumes_immediately(self):
+        sim = Simulator()
+        event = ProcessEvent()
+        event.trigger("early")
+        got = []
+
+        def waiter():
+            got.append((yield WaitEvent(event)))
+
+        Process(sim, waiter())
+        assert got == ["early"]
+
+    def test_multiple_waiters_all_resume(self):
+        sim = Simulator()
+        event = ProcessEvent()
+        got = []
+
+        def waiter(tag):
+            value = yield WaitEvent(event)
+            got.append((tag, value))
+
+        Process(sim, waiter("a"))
+        Process(sim, waiter("b"))
+        sim.schedule(1.0, event.trigger, "x")
+        sim.run()
+        assert sorted(got) == [("a", "x"), ("b", "x")]
+
+    def test_double_trigger_raises(self):
+        event = ProcessEvent()
+        event.trigger()
+        with pytest.raises(DesError):
+            event.trigger()
+
+    def test_event_value_and_triggered_flags(self):
+        event = ProcessEvent()
+        assert not event.triggered and event.value is None
+        event.trigger(17)
+        assert event.triggered and event.value == 17
+
+
+class TestJoinAndResult:
+    def test_joining_a_process_waits_for_it(self):
+        sim = Simulator()
+        trace = []
+
+        def worker():
+            yield Timeout(4.0)
+            trace.append("worker done")
+            return "result"
+
+        def boss():
+            worker_proc = Process(sim, worker())
+            value = yield worker_proc
+            trace.append(("boss saw", value, sim.now))
+
+        Process(sim, boss())
+        sim.run()
+        assert trace == ["worker done", ("boss saw", "result", 4.0)]
+
+    def test_result_and_alive(self):
+        sim = Simulator()
+
+        def body():
+            yield Timeout(1.0)
+            return 99
+
+        proc = Process(sim, body())
+        assert proc.alive and proc.result is None
+        sim.run()
+        assert not proc.alive and proc.result == 99
+
+    def test_yield_garbage_raises(self):
+        sim = Simulator()
+
+        def body():
+            yield "not a wait request"
+
+        with pytest.raises(DesError):
+            Process(sim, body())
+
+
+class TestInterrupt:
+    def test_interrupt_terminates_uncaught(self):
+        sim = Simulator()
+
+        def body():
+            yield Timeout(100.0)
+
+        proc = Process(sim, body())
+        proc.interrupt()
+        assert not proc.alive
+        sim.run()
+        assert sim.now == 0.0  # the pending timeout was cancelled
+
+    def test_interrupt_can_be_caught(self):
+        sim = Simulator()
+        trace = []
+
+        def body():
+            try:
+                yield Timeout(100.0)
+            except EventCancelled:
+                trace.append("interrupted")
+                yield Timeout(1.0)
+                trace.append(sim.now)
+
+        proc = Process(sim, body())
+        proc.interrupt()
+        sim.run()
+        assert trace == ["interrupted", 1.0]
+        assert not proc.alive
+
+    def test_interrupt_finished_process_is_noop(self):
+        sim = Simulator()
+
+        def body():
+            yield Timeout(1.0)
+
+        proc = Process(sim, body())
+        sim.run()
+        proc.interrupt()  # must not raise
+        assert not proc.alive
+
+
+class TestProducerConsumer:
+    def test_two_processes_interleave(self):
+        """A miniature source/sink pair built only from DES primitives."""
+        sim = Simulator()
+        queue = []
+        delivered = []
+
+        def producer():
+            for i in range(3):
+                yield Timeout(2.0)
+                queue.append((sim.now, i))
+
+        def consumer():
+            while len(delivered) < 3:
+                yield Timeout(1.0)
+                while queue:
+                    delivered.append(queue.pop(0))
+
+        Process(sim, producer())
+        Process(sim, consumer())
+        sim.run(max_events=100)
+        assert [item for _, item in delivered] == [0, 1, 2]
+        assert all(t in (2.0, 4.0, 6.0) for t, _ in delivered)

@@ -1,0 +1,65 @@
+"""Unit tests for the RNG stream registry."""
+
+import numpy as np
+import pytest
+
+from repro.des import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_name_returns_same_stream(self):
+        registry = RngRegistry(seed=1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_same_seed_and_name_reproduce_draws(self):
+        first = RngRegistry(seed=7).stream("traffic").random(10)
+        second = RngRegistry(seed=7).stream("traffic").random(10)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_names_give_different_draws(self):
+        registry = RngRegistry(seed=7)
+        a = registry.stream("a").random(10)
+        b = registry.stream("b").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_give_different_draws(self):
+        a = RngRegistry(seed=1).stream("x").random(10)
+        b = RngRegistry(seed=2).stream("x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_does_not_matter(self):
+        forward = RngRegistry(seed=3)
+        forward.stream("a")
+        draws_forward = forward.stream("b").random(5)
+        backward = RngRegistry(seed=3)
+        draws_backward = backward.stream("b").random(5)
+        backward.stream("a")
+        np.testing.assert_array_equal(draws_forward, draws_backward)
+
+    def test_names_lists_created_streams(self):
+        registry = RngRegistry(seed=0)
+        registry.stream("one")
+        registry.stream("two")
+        assert registry.names() == ["one", "two"]
+
+    def test_seed_property(self):
+        assert RngRegistry(seed=42).seed == 42
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(seed=0).stream("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(seed=0).stream(3)  # type: ignore[arg-type]
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngRegistry(seed="zero")  # type: ignore[arg-type]
+
+    def test_streams_are_statistically_decoupled(self):
+        """Draw correlations between named streams should be tiny."""
+        registry = RngRegistry(seed=5)
+        a = registry.stream("left").standard_normal(4000)
+        b = registry.stream("right").standard_normal(4000)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.05

@@ -1,0 +1,228 @@
+"""Tests for the experiment drivers (small-scale shape checks).
+
+Full-size regenerations (1000 packets, the complete 1/lambda sweep)
+live in benchmarks/; here every driver runs at toy scale to verify it
+produces well-formed results with the right qualitative shape.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    delay_allocation_ablation,
+    drop_vs_preempt_ablation,
+    victim_policy_ablation,
+)
+from repro.experiments.common import (
+    PAPER_INTERARRIVALS,
+    build_adversary,
+    paper_flow_knowledge,
+    run_paper_case,
+    score_flow,
+)
+from repro.experiments.fig1 import topology_summary
+from repro.experiments.fig2 import CASE_LABELS, figure2
+from repro.experiments.fig3 import figure3
+from repro.experiments.queueing_validation import (
+    erlang_loss_validation,
+    mm_infinity_validation,
+    tree_occupancy_validation,
+)
+from repro.experiments.theory import (
+    delay_distribution_comparison,
+    validate_bits_through_queues,
+    validate_epi_bound,
+)
+
+# Small but not tiny: below ~100 packets the buffer-fill transient
+# dominates and the steady-state shapes have not emerged yet.
+SMALL = dict(interarrivals=(2.0, 20.0), n_packets=150, seed=3)
+
+
+class TestCommon:
+    def test_paper_constants(self):
+        assert PAPER_INTERARRIVALS[0] == 2 and PAPER_INTERARRIVALS[-1] == 20
+
+    def test_knowledge_per_case(self):
+        assert paper_flow_knowledge("no-delay").mean_delay_per_hop == 0.0
+        assert paper_flow_knowledge("rcad").buffer_capacity == 10
+        assert paper_flow_knowledge("unlimited").buffer_capacity is None
+
+    def test_build_adversary_kinds(self):
+        from repro.core.adversary import (
+            AdaptiveAdversary,
+            BaselineAdversary,
+            NaiveAdversary,
+        )
+
+        assert isinstance(build_adversary("naive", "rcad"), NaiveAdversary)
+        assert isinstance(build_adversary("baseline", "rcad"), BaselineAdversary)
+        assert isinstance(build_adversary("adaptive", "rcad"), AdaptiveAdversary)
+        # Baseline against no-delay degenerates to naive.
+        assert isinstance(build_adversary("baseline", "no-delay"), NaiveAdversary)
+
+    def test_adaptive_requires_rcad(self):
+        with pytest.raises(ValueError):
+            build_adversary("adaptive", "unlimited")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_adversary("psychic", "rcad")  # type: ignore[arg-type]
+
+    def test_score_flow_unknown_flow_rejected(self):
+        result = run_paper_case(10.0, "no-delay", n_packets=5, seed=0)
+        with pytest.raises(ValueError):
+            score_flow(result, build_adversary("baseline", "no-delay"), flow_id=99)
+
+
+class TestFig1:
+    def test_hop_counts_match_paper(self):
+        summary = topology_summary()
+        assert all(flow.matches_paper for flow in summary.flows)
+        assert {f.hop_count for f in summary.flows} == {15, 22, 9, 11}
+
+    def test_trunk_flow_counts_monotone(self):
+        """Traffic accumulates toward the sink: flow counts don't drop."""
+        summary = topology_summary()
+        counts = [count for _, count in summary.trunk_flow_counts]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_render_mentions_all_flows(self):
+        text = topology_summary().render()
+        for label in ("S1", "S2", "S3", "S4"):
+            assert label in text
+
+
+class TestFig2:
+    def test_tables_have_three_cases(self):
+        mse, latency = figure2(**SMALL)
+        for table in (mse, latency):
+            assert [s.label for s in table.series] == list(CASE_LABELS.values())
+            assert list(table.x_values) == [2.0, 20.0]
+
+    def test_mse_shape(self):
+        mse, _ = figure2(**SMALL)
+        assert mse.get("NoDelay").value_at(2.0) == pytest.approx(0.0, abs=1e-9)
+        rcad_fast = mse.get("Delay&LimitedBuffers").value_at(2.0)
+        unlimited_fast = mse.get("Delay&UnlimitedBuffers").value_at(2.0)
+        assert rcad_fast > 3 * unlimited_fast
+
+    def test_latency_shape(self):
+        _, latency = figure2(**SMALL)
+        assert latency.get("NoDelay").value_at(2.0) == pytest.approx(15.0)
+        no_delay = latency.get("NoDelay").value_at(2.0)
+        rcad = latency.get("Delay&LimitedBuffers").value_at(2.0)
+        unlimited = latency.get("Delay&UnlimitedBuffers").value_at(2.0)
+        assert no_delay < rcad < unlimited
+
+
+class TestFig3:
+    def test_adaptive_no_worse_and_better_at_high_load(self):
+        table = figure3(**SMALL)
+        baseline = table.get("BaselineAdversary")
+        adaptive = table.get("AdaptiveAdversary")
+        for x in table.x_values:
+            assert adaptive.value_at(x) <= baseline.value_at(x) * 1.05
+        assert adaptive.value_at(2.0) < baseline.value_at(2.0)
+
+
+class TestTheoryValidation:
+    def test_bits_through_queues_bound_respected(self):
+        table = validate_bits_through_queues(
+            packet_indices=(1, 5, 20), n_realizations=1500, seed=1
+        )
+        empirical = table.get("empirical I(Xj;Zj)")
+        bound = table.get("ln(1 + j*mu/lambda)")
+        for x in table.x_values:
+            assert empirical.value_at(x) <= bound.value_at(x) + 0.05
+
+    def test_epi_floor_respected(self):
+        table = validate_epi_bound(delay_means=(5.0, 30.0), n_samples=3000, seed=2)
+        empirical = table.get("empirical I(X;Z)")
+        floor = table.get("EPI lower bound")
+        for x in table.x_values:
+            assert empirical.value_at(x) >= floor.value_at(x) - 0.08
+
+    def test_epi_leakage_decreases_with_delay(self):
+        table = validate_epi_bound(delay_means=(5.0, 60.0), n_samples=3000, seed=3)
+        empirical = table.get("empirical I(X;Z)")
+        assert empirical.value_at(60.0) < empirical.value_at(5.0)
+
+    def test_exponential_leaks_least(self):
+        leakage = delay_distribution_comparison(n_samples=2500, seed=4)
+        assert leakage["exponential"] <= leakage["uniform"] + 0.05
+        assert leakage["constant"] > 2 * leakage["exponential"]
+
+
+class TestQueueingValidation:
+    def test_mm_infinity(self):
+        report = mm_infinity_validation(horizon=15_000.0, seed=5)
+        assert report["simulated_mean"] == pytest.approx(
+            report["analytic_mean"], rel=0.1
+        )
+        assert report["tv_distance"] < 0.1
+
+    def test_erlang_loss(self):
+        table = erlang_loss_validation(
+            offered_loads=(5.0, 15.0), horizon=15_000.0, seed=6
+        )
+        analytic = table.get("Erlang B (analytic)")
+        simulated = table.get("M/M/k/k simulation")
+        for x in table.x_values:
+            assert simulated.value_at(x) == pytest.approx(
+                analytic.value_at(x), abs=0.04
+            )
+
+    def test_tree_occupancy(self):
+        table = tree_occupancy_validation(
+            interarrival=10.0, n_packets=1200, seed=7
+        )
+        predicted = table.get("QueueTreeModel rho_i")
+        measured = table.get("simulated occupancy")
+        # Compare the path-summed occupancy (per-node noise is larger).
+        total_predicted = sum(predicted.y_values)
+        total_measured = sum(measured.y_values)
+        assert total_measured == pytest.approx(total_predicted, rel=0.2)
+
+
+class TestAblations:
+    def test_victim_policies_all_reported(self):
+        rows = victim_policy_ablation(n_packets=80, seed=8)
+        assert {row.policy for row in rows} == {
+            "shortest-remaining", "longest-remaining", "random",
+            "oldest-arrival", "newest-arrival",
+        }
+
+    def test_shortest_remaining_preserves_delay_shape_best(self):
+        rows = victim_policy_ablation(n_packets=120, seed=9)
+        by_policy = {row.policy: row for row in rows}
+        shortest = by_policy["shortest-remaining"].delay_shape_distance
+        longest = by_policy["longest-remaining"].delay_shape_distance
+        assert shortest < longest
+
+    def test_delay_allocation_rows(self):
+        rows = delay_allocation_ablation(n_packets=80, seed=10)
+        names = {row.planner for row in rows}
+        assert names == {
+            "uniform", "sink-weighted", "erlang-target", "variance-optimal",
+        }
+        for row in rows:
+            assert row.max_node_mean_occupancy > 0
+
+    def test_sink_weighted_relieves_trunk(self):
+        rows = {r.planner: r for r in delay_allocation_ablation(n_packets=80, seed=11)}
+        assert (
+            rows["erlang-target"].max_node_mean_occupancy
+            < rows["uniform"].max_node_mean_occupancy
+        )
+
+    def test_drop_vs_preempt(self):
+        rows = drop_vs_preempt_ablation(
+            interarrivals=(2.0, 16.0), n_packets=80, seed=12
+        )
+        fast = rows[0]
+        assert fast.rcad_delivered == 80
+        assert fast.droptail_delivered < 80
+        assert fast.droptail_drop_fraction > 0.2
+        slow = rows[1]
+        assert slow.droptail_drop_fraction < fast.droptail_drop_fraction

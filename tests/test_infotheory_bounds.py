@@ -1,0 +1,105 @@
+"""Unit tests for the Equation (2) and Equation (4) bounds."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.infotheory.bounds import (
+    bits_through_queues_bound,
+    cumulative_bits_through_queues_bound,
+    entropy_power,
+    epi_lower_bound,
+)
+from repro.infotheory.entropy import gaussian_entropy, gaussian_mutual_information
+
+
+class TestEntropyPower:
+    def test_gaussian_entropy_power_is_variance(self):
+        for variance in (0.5, 1.0, 9.0):
+            assert entropy_power(gaussian_entropy(variance)) == pytest.approx(variance)
+
+    def test_monotone_in_entropy(self):
+        assert entropy_power(2.0) > entropy_power(1.0)
+
+
+class TestEpiLowerBound:
+    def test_gaussian_case_is_tight(self):
+        """For Gaussian X and Y the EPI holds with equality."""
+        for sx2, sy2 in ((1.0, 1.0), (4.0, 1.0), (1.0, 9.0)):
+            bound = epi_lower_bound(gaussian_entropy(sx2), gaussian_entropy(sy2))
+            exact = gaussian_mutual_information(sx2, sy2)
+            assert bound == pytest.approx(exact, rel=1e-9)
+
+    def test_bound_nonnegative(self):
+        # Very peaked X (negative entropy): bound clamps at 0.
+        assert epi_lower_bound(-10.0, 2.0) >= 0.0
+
+    def test_more_delay_entropy_lower_bound_shrinks(self):
+        h_x = gaussian_entropy(1.0)
+        assert epi_lower_bound(h_x, 3.0) < epi_lower_bound(h_x, 1.0)
+
+    @given(
+        st.floats(min_value=-3.0, max_value=5.0),
+        st.floats(min_value=-3.0, max_value=5.0),
+    )
+    def test_nonnegative_property(self, h_x, h_y):
+        assert epi_lower_bound(h_x, h_y) >= 0.0
+
+    @given(
+        st.floats(min_value=0.01, max_value=50.0),
+        st.floats(min_value=0.01, max_value=50.0),
+    )
+    def test_gaussian_equality_property(self, sx2, sy2):
+        bound = epi_lower_bound(gaussian_entropy(sx2), gaussian_entropy(sy2))
+        assert bound == pytest.approx(gaussian_mutual_information(sx2, sy2), rel=1e-6)
+
+
+class TestBitsThroughQueues:
+    def test_known_value(self):
+        # j=1, mu/lambda = 1 -> ln 2.
+        assert bits_through_queues_bound(1, 1.0, 1.0) == pytest.approx(math.log(2.0))
+
+    def test_paper_operating_point(self):
+        """lambda = 0.5, 1/mu = 30: per-packet leak bound is small."""
+        bound = bits_through_queues_bound(1, 0.5, 1.0 / 30.0)
+        assert bound == pytest.approx(math.log(1.0 + (1.0 / 30.0) / 0.5))
+        assert bound < 0.1  # < 0.1 nats for the first packet
+
+    def test_grows_with_packet_index(self):
+        bounds = [bits_through_queues_bound(j, 0.5, 0.1) for j in (1, 5, 20)]
+        assert bounds == sorted(bounds)
+        assert bounds[0] < bounds[-1]
+
+    def test_smaller_mu_less_leakage(self):
+        """The paper's design knob: tune mu small relative to lambda."""
+        assert bits_through_queues_bound(3, 1.0, 0.01) < bits_through_queues_bound(
+            3, 1.0, 1.0
+        )
+
+    def test_cumulative_is_sum(self):
+        total = cumulative_bits_through_queues_bound(5, 0.5, 0.2)
+        parts = sum(bits_through_queues_bound(j, 0.5, 0.2) for j in range(1, 6))
+        assert total == pytest.approx(parts)
+
+    def test_cumulative_zero_packets(self):
+        assert cumulative_bits_through_queues_bound(0, 1.0, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bits_through_queues_bound(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            bits_through_queues_bound(1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            bits_through_queues_bound(1, 1.0, -1.0)
+        with pytest.raises(ValueError):
+            cumulative_bits_through_queues_bound(-1, 1.0, 1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=1000),
+        st.floats(min_value=0.01, max_value=10.0),
+        st.floats(min_value=0.001, max_value=10.0),
+    )
+    def test_positive_property(self, j, lam, mu):
+        assert bits_through_queues_bound(j, lam, mu) > 0.0

@@ -1,0 +1,173 @@
+"""Unit tests for EM deconvolution and the distribution adversary."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.infotheory.deconvolution import (
+    em_deconvolve,
+    total_variation_distance,
+)
+
+
+def _rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def _gaussian_noise_pdf(scale):
+    def pdf(lag):
+        return scipy_stats.norm(0.0, scale).pdf(lag)
+
+    return pdf
+
+
+def _exp_noise_pdf(mean):
+    def pdf(lag):
+        return np.where(lag >= 0, np.exp(-lag / mean) / mean, 0.0)
+
+    return pdf
+
+
+class TestEmDeconvolve:
+    def test_recovers_point_mass(self):
+        """All X at one grid point + exponential noise -> a spike."""
+        rng = _rng(1)
+        true_x = 50.0
+        z = true_x + rng.exponential(10.0, size=3000)
+        grid = np.arange(0.0, 120.0, 2.0)
+        result = em_deconvolve(z, _exp_noise_pdf(10.0), grid)
+        peak = result.grid[np.argmax(result.density)]
+        assert abs(peak - true_x) <= 4.0
+        assert result.density.max() > 0.5
+
+    def test_recovers_bimodal_mixture(self):
+        rng = _rng(2)
+        x = np.concatenate([
+            rng.normal(30.0, 3.0, size=2000),
+            rng.normal(80.0, 3.0, size=2000),
+        ])
+        z = x + rng.exponential(8.0, size=4000)
+        grid = np.arange(0.0, 130.0, 2.0)
+        result = em_deconvolve(z, _exp_noise_pdf(8.0), grid)
+        # Mass concentrates near the two modes.
+        near_modes = (
+            result.density[(result.grid > 20) & (result.grid < 40)].sum()
+            + result.density[(result.grid > 70) & (result.grid < 90)].sum()
+        )
+        assert near_modes > 0.8
+
+    def test_mean_preserved(self):
+        rng = _rng(3)
+        x = rng.uniform(20.0, 60.0, size=4000)
+        z = x + rng.exponential(15.0, size=4000)
+        grid = np.arange(0.0, 150.0, 2.0)
+        result = em_deconvolve(z, _exp_noise_pdf(15.0), grid)
+        assert result.mean() == pytest.approx(40.0, abs=3.0)
+
+    def test_masses_normalized(self):
+        rng = _rng(4)
+        z = rng.uniform(0, 100, size=500)
+        grid = np.arange(0.0, 110.0, 5.0)
+        result = em_deconvolve(z, _gaussian_noise_pdf(5.0), grid)
+        assert result.density.sum() == pytest.approx(1.0)
+        assert np.all(result.density >= 0)
+
+    def test_likelihood_monotone_in_iterations(self):
+        rng = _rng(5)
+        z = 40.0 + rng.exponential(10.0, size=800)
+        grid = np.arange(0.0, 100.0, 2.0)
+        short = em_deconvolve(z, _exp_noise_pdf(10.0), grid, max_iterations=3)
+        long = em_deconvolve(z, _exp_noise_pdf(10.0), grid, max_iterations=100)
+        assert long.log_likelihood >= short.log_likelihood - 1e-9
+
+    def test_convergence_flag(self):
+        rng = _rng(6)
+        z = 40.0 + rng.exponential(10.0, size=300)
+        grid = np.arange(0.0, 100.0, 2.0)
+        result = em_deconvolve(z, _exp_noise_pdf(10.0), grid, max_iterations=2000)
+        assert result.converged
+        assert result.iterations < 2000
+
+    def test_unexplainable_observations_dropped(self):
+        """Exponential noise cannot explain z below the whole grid."""
+        z = np.array([5.0, 60.0, 70.0])
+        grid = np.arange(50.0, 100.0, 2.0)
+        result = em_deconvolve(z, _exp_noise_pdf(10.0), grid)
+        assert result.density.sum() == pytest.approx(1.0)
+
+    def test_all_unexplainable_raises(self):
+        z = np.array([5.0, 6.0])
+        grid = np.arange(50.0, 100.0, 2.0)
+        with pytest.raises(ValueError):
+            em_deconvolve(z, _exp_noise_pdf(10.0), grid)
+
+    def test_validation(self):
+        grid = np.arange(0.0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            em_deconvolve(np.array([]), _exp_noise_pdf(1.0), grid)
+        with pytest.raises(ValueError):
+            em_deconvolve(np.array([1.0]), _exp_noise_pdf(1.0), np.array([1.0]))
+        with pytest.raises(ValueError):
+            em_deconvolve(
+                np.array([1.0]), _exp_noise_pdf(1.0), np.array([0.0, 1.0, 5.0])
+            )
+
+    def test_cdf(self):
+        rng = _rng(7)
+        z = 30.0 + rng.exponential(5.0, size=300)
+        grid = np.arange(0.0, 80.0, 2.0)
+        result = em_deconvolve(z, _exp_noise_pdf(5.0), grid)
+        cdf = result.cdf()
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation_distance(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
+
+    def test_normalizes_inputs(self):
+        assert total_variation_distance(
+            np.array([2.0, 2.0]), np.array([5.0, 5.0])
+        ) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([1.0]), np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([0.0]), np.array([1.0]))
+
+
+class TestDistributionAdversaryExperiment:
+    def test_case_ordering(self):
+        """No-delay ~ exact; unlimited decent; RCAD badly corrupted."""
+        from repro.experiments.distribution_adversary import (
+            distribution_adversary_experiment,
+        )
+
+        rows = {r.case: r for r in distribution_adversary_experiment(
+            n_packets=300, seed=2)}
+        assert rows["no-delay"].tv_distance < 0.05
+        assert rows["no-delay"].tv_distance < rows["unlimited"].tv_distance
+        assert rows["unlimited"].tv_distance < rows["rcad"].tv_distance
+        assert rows["rcad"].tv_distance > 0.4
+
+    def test_rcad_biases_reconstructed_mean(self):
+        from repro.experiments.distribution_adversary import (
+            distribution_adversary_experiment,
+        )
+
+        rows = {r.case: r for r in distribution_adversary_experiment(
+            n_packets=300, seed=3)}
+        # The adversary deconvolves too much delay: the reconstructed
+        # pattern lands earlier than the truth.
+        assert rows["rcad"].reconstructed_mean < rows["rcad"].true_mean - 50.0
+        assert abs(
+            rows["unlimited"].reconstructed_mean - rows["unlimited"].true_mean
+        ) < 30.0

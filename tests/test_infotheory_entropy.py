@@ -1,0 +1,111 @@
+"""Unit tests for closed-form entropies."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.infotheory.entropy import (
+    erlang_entropy,
+    exponential_entropy,
+    gaussian_entropy,
+    gaussian_mutual_information,
+    max_entropy_nonnegative_is_exponential,
+    uniform_entropy,
+)
+
+
+class TestClosedForms:
+    def test_exponential_entropy_rate_one(self):
+        assert exponential_entropy(1.0) == pytest.approx(1.0)
+
+    def test_exponential_entropy_paper_delay(self):
+        # 1/mu = 30 -> h = 1 + ln 30.
+        assert exponential_entropy(1.0 / 30.0) == pytest.approx(1.0 + math.log(30.0))
+
+    def test_exponential_entropy_grows_with_mean(self):
+        assert exponential_entropy(0.1) > exponential_entropy(1.0)
+
+    def test_uniform_entropy(self):
+        assert uniform_entropy(math.e) == pytest.approx(1.0)
+        assert uniform_entropy(1.0) == 0.0
+
+    def test_gaussian_entropy_unit_variance(self):
+        assert gaussian_entropy(1.0) == pytest.approx(
+            0.5 * math.log(2 * math.pi * math.e)
+        )
+
+    def test_erlang_shape_one_is_exponential(self):
+        for rate in (0.1, 1.0, 3.0):
+            assert erlang_entropy(1, rate) == pytest.approx(exponential_entropy(rate))
+
+    def test_erlang_entropy_matches_monte_carlo(self, rng):
+        """Cross-check the digamma formula against a histogram estimate."""
+        shape, rate = 4, 0.5
+        samples = rng.gamma(shape, 1.0 / rate, size=200_000)
+        hist, edges = np.histogram(samples, bins=300, density=True)
+        widths = np.diff(edges)
+        mask = hist > 0
+        empirical = -np.sum(hist[mask] * np.log(hist[mask]) * widths[mask])
+        assert erlang_entropy(shape, rate) == pytest.approx(empirical, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_entropy(0.0)
+        with pytest.raises(ValueError):
+            uniform_entropy(-1.0)
+        with pytest.raises(ValueError):
+            gaussian_entropy(0.0)
+        with pytest.raises(ValueError):
+            erlang_entropy(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_entropy(2, 0.0)
+
+
+class TestGaussianMi:
+    def test_known_value(self):
+        assert gaussian_mutual_information(3.0, 1.0) == pytest.approx(
+            0.5 * math.log(4.0)
+        )
+
+    def test_zero_signal_leaks_nothing(self):
+        assert gaussian_mutual_information(0.0, 1.0) == 0.0
+
+    def test_more_noise_less_leakage(self):
+        assert gaussian_mutual_information(1.0, 10.0) < gaussian_mutual_information(
+            1.0, 1.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_mutual_information(1.0, 0.0)
+        with pytest.raises(ValueError):
+            gaussian_mutual_information(-1.0, 1.0)
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    def test_nonnegative_property(self, noise):
+        assert gaussian_mutual_information(1.0, noise) >= 0.0
+
+
+class TestMaxEntropyArgument:
+    def test_exponential_beats_same_mean_uniform(self):
+        """The paper's motivation: Exp is max-entropy among nonnegative
+        laws of a given mean."""
+        mean = 30.0
+        candidates = {
+            "uniform(0, 2m)": uniform_entropy(2 * mean),
+            "erlang-2": erlang_entropy(2, 2 / mean),
+            "erlang-5": erlang_entropy(5, 5 / mean),
+        }
+        assert max_entropy_nonnegative_is_exponential(mean, candidates)
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            max_entropy_nonnegative_is_exponential(0.0, {})
+
+    @given(st.floats(min_value=0.1, max_value=100.0), st.integers(2, 10))
+    def test_erlang_entropy_below_exponential_property(self, mean, shape):
+        """Every same-mean Erlang is strictly below the exponential."""
+        assert erlang_entropy(shape, shape / mean) < exponential_entropy(1.0 / mean)

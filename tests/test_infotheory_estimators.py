@@ -1,0 +1,132 @@
+"""Unit tests for the empirical mutual-information estimators."""
+
+import numpy as np
+import pytest
+
+from repro.infotheory.entropy import gaussian_mutual_information
+from repro.infotheory.estimators import (
+    binned_mutual_information,
+    gaussian_mi_estimate,
+    ksg_mutual_information,
+)
+
+N = 4000
+
+
+def _gaussian_pair(rho, rng, n=N):
+    x = rng.standard_normal(n)
+    noise = rng.standard_normal(n)
+    z = rho * x + np.sqrt(1 - rho**2) * noise
+    return x, z
+
+
+class TestIndependentData:
+    def test_binned_near_zero(self, rng):
+        x, z = rng.standard_normal(N), rng.standard_normal(N)
+        assert binned_mutual_information(x, z) < 0.05
+
+    def test_ksg_near_zero(self, rng):
+        x, z = rng.standard_normal(N), rng.standard_normal(N)
+        assert ksg_mutual_information(x, z) < 0.05
+
+    def test_gaussian_near_zero(self, rng):
+        x, z = rng.standard_normal(N), rng.standard_normal(N)
+        assert gaussian_mi_estimate(x, z) < 0.05
+
+
+class TestCorrelatedGaussians:
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.9])
+    def test_ksg_matches_closed_form(self, rho, rng):
+        x, z = _gaussian_pair(rho, rng)
+        truth = -0.5 * np.log(1 - rho**2)
+        assert ksg_mutual_information(x, z) == pytest.approx(truth, abs=0.1)
+
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.9])
+    def test_gaussian_estimator_matches_closed_form(self, rho, rng):
+        x, z = _gaussian_pair(rho, rng)
+        truth = -0.5 * np.log(1 - rho**2)
+        assert gaussian_mi_estimate(x, z) == pytest.approx(truth, abs=0.08)
+
+    def test_binned_tracks_closed_form(self, rng):
+        x, z = _gaussian_pair(0.8, rng, n=8000)
+        truth = -0.5 * np.log(1 - 0.64)
+        assert binned_mutual_information(x, z) == pytest.approx(truth, abs=0.15)
+
+    def test_additive_channel_matches_gaussian_formula(self, rng):
+        """The paper's Z = X + Y channel with Gaussian X, Y."""
+        x = rng.normal(0.0, 3.0, size=N)
+        y = rng.normal(0.0, 2.0, size=N)
+        truth = gaussian_mutual_information(9.0, 4.0)
+        assert ksg_mutual_information(x, x + y) == pytest.approx(truth, abs=0.12)
+
+
+class TestDeterministicAndDegenerate:
+    def test_deterministic_relationship_large_mi(self, rng):
+        x = rng.standard_normal(N)
+        assert ksg_mutual_information(x, 2.0 * x + 1.0) > 2.0
+        assert gaussian_mi_estimate(x, 2.0 * x) > 5.0
+
+    def test_constant_marginal_binned_zero(self, rng):
+        x = rng.standard_normal(100)
+        z = np.zeros(100)
+        assert binned_mutual_information(x, z) == 0.0
+
+    def test_constant_marginal_gaussian_zero(self, rng):
+        x = rng.standard_normal(100)
+        assert gaussian_mi_estimate(x, np.zeros(100)) == 0.0
+
+
+class TestEstimatorContracts:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            binned_mutual_information(np.zeros(10), np.zeros(11))
+        with pytest.raises(ValueError):
+            ksg_mutual_information(np.zeros(10), np.zeros(11))
+        with pytest.raises(ValueError):
+            gaussian_mi_estimate(np.zeros(10), np.zeros(11))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            binned_mutual_information(np.zeros(2), np.zeros(2))
+        with pytest.raises(ValueError):
+            ksg_mutual_information(np.arange(4.0), np.arange(4.0))
+
+    def test_ksg_k_validation(self, rng):
+        x = rng.standard_normal(20)
+        with pytest.raises(ValueError):
+            ksg_mutual_information(x, x, k=0)
+        with pytest.raises(ValueError):
+            ksg_mutual_information(x, x, k=20)
+
+    def test_estimates_nonnegative(self, rng):
+        x, z = rng.standard_normal(500), rng.standard_normal(500)
+        assert binned_mutual_information(x, z) >= 0.0
+        assert ksg_mutual_information(x, z) >= 0.0
+        assert gaussian_mi_estimate(x, z) >= 0.0
+
+    def test_binned_custom_bins(self, rng):
+        x, z = _gaussian_pair(0.7, rng)
+        wide = binned_mutual_information(x, z, bins=5)
+        assert wide > 0.1
+
+    def test_ksg_deterministic_given_inputs(self, rng):
+        x, z = _gaussian_pair(0.5, rng, n=500)
+        assert ksg_mutual_information(x, z) == ksg_mutual_information(x, z)
+
+
+class TestMonotonicity:
+    def test_leakage_grows_with_correlation(self, rng):
+        estimates = []
+        for rho in (0.2, 0.5, 0.8, 0.95):
+            x, z = _gaussian_pair(rho, rng)
+            estimates.append(ksg_mutual_information(x, z))
+        assert estimates == sorted(estimates)
+
+    def test_longer_delays_leak_less(self, rng):
+        """The paper's core trade-off, measured by the estimator."""
+        x = rng.exponential(10.0, size=N)  # creation-gap-like prior
+        leakages = []
+        for mean_delay in (1.0, 10.0, 100.0):
+            z = x + rng.exponential(mean_delay, size=N)
+            leakages.append(ksg_mutual_information(x, z))
+        assert leakages == sorted(leakages, reverse=True)

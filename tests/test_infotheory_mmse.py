@@ -1,0 +1,75 @@
+"""Unit tests for the MI/MMSE relationship and the MSE metric."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.infotheory.entropy import gaussian_entropy, gaussian_mutual_information
+from repro.infotheory.mmse import mmse_lower_bound_from_mi, mse_of_estimator
+
+
+class TestMmseLowerBound:
+    def test_gaussian_case_is_achievable(self):
+        """For the Gaussian channel the bound equals the true MMSE."""
+        sx2, sy2 = 4.0, 1.0
+        mi = gaussian_mutual_information(sx2, sy2)
+        bound = mmse_lower_bound_from_mi(gaussian_entropy(sx2), mi)
+        true_mmse = sx2 * sy2 / (sx2 + sy2)  # Gaussian conditional variance
+        assert bound == pytest.approx(true_mmse, rel=1e-9)
+
+    def test_zero_leakage_bound_is_prior_variance(self):
+        sx2 = 9.0
+        bound = mmse_lower_bound_from_mi(gaussian_entropy(sx2), 0.0)
+        assert bound == pytest.approx(sx2, rel=1e-9)
+
+    def test_each_nat_shrinks_bound_by_e_squared(self):
+        h = gaussian_entropy(1.0)
+        assert mmse_lower_bound_from_mi(h, 1.0) == pytest.approx(
+            mmse_lower_bound_from_mi(h, 0.0) / math.e**2
+        )
+
+    def test_more_leakage_smaller_floor(self):
+        h = gaussian_entropy(2.0)
+        assert mmse_lower_bound_from_mi(h, 2.0) < mmse_lower_bound_from_mi(h, 0.5)
+
+    def test_negative_mi_rejected(self):
+        with pytest.raises(ValueError):
+            mmse_lower_bound_from_mi(1.0, -0.1)
+
+    def test_bound_holds_for_simulated_estimator(self, rng):
+        """An actual (linear) estimator's MSE must sit above the bound."""
+        sx2, sy2 = 4.0, 2.0
+        x = rng.normal(0.0, math.sqrt(sx2), size=20_000)
+        z = x + rng.normal(0.0, math.sqrt(sy2), size=20_000)
+        estimate = (sx2 / (sx2 + sy2)) * z  # the optimal linear estimator
+        mse = mse_of_estimator(x, estimate)
+        bound = mmse_lower_bound_from_mi(
+            gaussian_entropy(sx2), gaussian_mutual_information(sx2, sy2)
+        )
+        assert mse >= bound * 0.95  # sampling slack
+
+
+class TestMseOfEstimator:
+    def test_exact_value(self):
+        # ((1)^2 + (2)^2) / 2 = 2.5 -- the paper's MSE definition.
+        assert mse_of_estimator([0.0, 0.0], [1.0, 2.0]) == pytest.approx(2.5)
+
+    def test_perfect_estimates_zero(self):
+        assert mse_of_estimator([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_symmetric_in_sign(self):
+        assert mse_of_estimator([0.0], [3.0]) == mse_of_estimator([0.0], [-3.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse_of_estimator([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mse_of_estimator([], [])
+
+    def test_accepts_numpy_arrays(self):
+        truth = np.array([1.0, 2.0])
+        guess = np.array([2.0, 4.0])
+        assert mse_of_estimator(truth, guess) == pytest.approx(2.5)

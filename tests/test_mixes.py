@@ -1,0 +1,200 @@
+"""Unit tests for the mix-network substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mixes.designs import (
+    MixOutput,
+    PoolMix,
+    StopAndGoMix,
+    ThresholdMix,
+    TimedMix,
+)
+from repro.mixes.metrics import (
+    mean_latency,
+    sender_anonymity_entropy,
+    sg_linkage_entropy,
+    temporal_mse,
+)
+
+
+def _rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+ARRIVALS = np.array([1.0, 2.0, 3.0, 4.5, 6.0, 7.0, 8.0, 9.5, 11.0, 12.0])
+
+
+class TestThresholdMix:
+    def test_batches_of_n_depart_together(self):
+        output = ThresholdMix(batch_size=3).transform(ARRIVALS, _rng())
+        assert np.all(output.departure_times[0:3] == ARRIVALS[2])
+        assert np.all(output.departure_times[3:6] == ARRIVALS[5])
+        assert np.all(output.batch_ids[0:3] == 0)
+        assert np.all(output.batch_ids[3:6] == 1)
+
+    def test_partial_final_batch_flushed_at_end(self):
+        output = ThresholdMix(batch_size=4).transform(ARRIVALS, _rng())
+        # 10 messages: batches of 4, 4, then 2 flushed at the last arrival.
+        assert np.all(output.departure_times[8:] == ARRIVALS[-1])
+
+    def test_no_departure_before_arrival(self):
+        output = ThresholdMix(batch_size=5).transform(ARRIVALS, _rng())
+        assert np.all(output.departure_times >= output.arrival_times)
+
+    def test_batch_one_is_immediate(self):
+        output = ThresholdMix(batch_size=1).transform(ARRIVALS, _rng())
+        np.testing.assert_allclose(output.departure_times, ARRIVALS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdMix(batch_size=0)
+        with pytest.raises(ValueError):
+            ThresholdMix(2).transform(np.array([3.0, 1.0]), _rng())
+        with pytest.raises(ValueError):
+            ThresholdMix(2).transform(np.array([]), _rng())
+
+
+class TestTimedMix:
+    def test_departures_on_ticks(self):
+        output = TimedMix(interval=5.0).transform(ARRIVALS, _rng())
+        assert set(np.mod(output.departure_times, 5.0)) == {0.0}
+        assert np.all(output.departure_times >= output.arrival_times)
+
+    def test_same_tick_same_batch(self):
+        output = TimedMix(interval=5.0).transform(ARRIVALS, _rng())
+        # Arrivals 1..4.5 leave at t=5 together.
+        assert len(set(output.batch_ids[0:4])) == 1
+
+    def test_arrival_exactly_on_tick(self):
+        output = TimedMix(interval=2.0).transform(np.array([2.0, 3.0]), _rng())
+        assert output.departure_times[0] == 2.0
+        assert output.departure_times[1] == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimedMix(interval=0.0)
+
+
+class TestPoolMix:
+    def test_pool_messages_survive_flush(self):
+        output = PoolMix(batch_size=4, pool_size=1).transform(ARRIVALS, _rng(1))
+        # First flush at the 4th arrival: exactly 3 leave.
+        first_flush = np.sum(output.departure_times == ARRIVALS[3])
+        assert first_flush == 3
+
+    def test_everything_eventually_departs(self):
+        output = PoolMix(batch_size=3, pool_size=2).transform(ARRIVALS, _rng(2))
+        assert not np.any(np.isnan(output.departure_times))
+        assert np.all(output.batch_ids >= 0)
+
+    def test_zero_pool_degenerates_to_threshold(self):
+        pool = PoolMix(batch_size=3, pool_size=0).transform(ARRIVALS, _rng(3))
+        threshold = ThresholdMix(batch_size=3).transform(ARRIVALS, _rng(4))
+        np.testing.assert_allclose(pool.departure_times, threshold.departure_times)
+
+    def test_pool_increases_mean_latency(self):
+        no_pool = PoolMix(4, 0).transform(ARRIVALS, _rng(5))
+        with_pool = PoolMix(4, 2).transform(ARRIVALS, _rng(5))
+        assert mean_latency(with_pool) >= mean_latency(no_pool)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoolMix(batch_size=3, pool_size=3)
+        with pytest.raises(ValueError):
+            PoolMix(batch_size=0, pool_size=0)
+
+
+class TestStopAndGoMix:
+    def test_mean_latency_matches_parameter(self):
+        arrivals = np.sort(_rng(6).uniform(0, 1000, size=5000))
+        output = StopAndGoMix(mean_delay=30.0).transform(arrivals, _rng(7))
+        assert mean_latency(output) == pytest.approx(30.0, rel=0.05)
+
+    def test_each_message_individually_timed(self):
+        output = StopAndGoMix(30.0).transform(ARRIVALS, _rng(8))
+        assert len(set(output.batch_ids.tolist())) == ARRIVALS.size
+
+    def test_reordering_occurs(self):
+        arrivals = np.arange(200, dtype=float)
+        output = StopAndGoMix(mean_delay=10.0).transform(arrivals, _rng(9))
+        assert np.any(np.diff(output.departure_times) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StopAndGoMix(mean_delay=0.0)
+
+
+class TestMixOutputContract:
+    def test_premature_departure_rejected(self):
+        with pytest.raises(ValueError):
+            MixOutput(
+                arrival_times=np.array([5.0]),
+                departure_times=np.array([4.0]),
+                batch_ids=np.array([0]),
+            )
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            MixOutput(
+                arrival_times=np.array([1.0, 2.0]),
+                departure_times=np.array([1.0]),
+                batch_ids=np.array([0, 0]),
+            )
+
+    def test_batch_members(self):
+        output = ThresholdMix(3).transform(ARRIVALS, _rng())
+        np.testing.assert_array_equal(output.batch_members(0), [0, 1, 2])
+
+
+class TestAnonymityMetrics:
+    def test_threshold_entropy_is_log_batch(self):
+        output = ThresholdMix(batch_size=5).transform(ARRIVALS, _rng())
+        assert sender_anonymity_entropy(output) == pytest.approx(math.log(5))
+
+    def test_individual_timing_scores_zero_set_entropy(self):
+        output = StopAndGoMix(30.0).transform(ARRIVALS, _rng())
+        assert sender_anonymity_entropy(output) == 0.0
+
+    def test_sg_linkage_entropy_positive_under_load(self):
+        arrivals = np.sort(_rng(10).uniform(0, 100, size=400))
+        output = StopAndGoMix(mean_delay=30.0).transform(arrivals, _rng(11))
+        assert sg_linkage_entropy(output, mean_delay=30.0) > 1.0
+
+    def test_sg_linkage_entropy_grows_with_delay(self):
+        arrivals = np.sort(_rng(12).uniform(0, 200, size=400))
+        short = StopAndGoMix(1.0).transform(arrivals, _rng(13))
+        long = StopAndGoMix(50.0).transform(arrivals, _rng(13))
+        assert sg_linkage_entropy(long, 50.0) > sg_linkage_entropy(short, 1.0)
+
+    def test_sg_linkage_validation(self):
+        output = StopAndGoMix(30.0).transform(ARRIVALS, _rng())
+        with pytest.raises(ValueError):
+            sg_linkage_entropy(output, mean_delay=0.0)
+
+
+class TestTemporalMetrics:
+    def test_temporal_mse_is_latency_variance(self):
+        output = StopAndGoMix(30.0).transform(
+            np.sort(_rng(14).uniform(0, 1000, size=3000)), _rng(15)
+        )
+        # Exp(30) variance = 900.
+        assert temporal_mse(output) == pytest.approx(900.0, rel=0.1)
+
+    def test_constant_latency_mix_has_zero_temporal_mse(self):
+        output = MixOutput(
+            arrival_times=ARRIVALS,
+            departure_times=ARRIVALS + 7.0,
+            batch_ids=np.zeros(ARRIVALS.size, dtype=int),
+        )
+        assert temporal_mse(output) == 0.0
+
+    def test_mean_latency(self):
+        output = MixOutput(
+            arrival_times=ARRIVALS,
+            departure_times=ARRIVALS + 3.0,
+            batch_ids=np.zeros(ARRIVALS.size, dtype=int),
+        )
+        assert mean_latency(output) == pytest.approx(3.0)

@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) on the mix designs."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mixes.designs import PoolMix, StopAndGoMix, ThresholdMix, TimedMix
+from repro.mixes.metrics import sender_anonymity_entropy
+
+_SETTINGS = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Strictly positive sorted arrival times.
+arrival_lists = st.lists(
+    st.floats(min_value=0.01, max_value=1e4), min_size=1, max_size=120
+).map(lambda xs: np.sort(np.asarray(xs)))
+
+
+def _rng(seed):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+@_SETTINGS
+@given(arrival_lists, st.integers(min_value=1, max_value=20), st.integers(0, 9999))
+def test_threshold_mix_conservation(arrivals, batch_size, seed):
+    output = ThresholdMix(batch_size).transform(arrivals, _rng(seed))
+    assert output.departure_times.size == arrivals.size
+    assert np.all(output.departure_times >= output.arrival_times - 1e-12)
+    # Every message belongs to a batch, and batches are contiguous.
+    assert np.all(output.batch_ids >= 0)
+    assert np.all(np.diff(output.batch_ids) >= 0)
+
+
+@_SETTINGS
+@given(arrival_lists, st.floats(min_value=0.1, max_value=500.0), st.integers(0, 9999))
+def test_timed_mix_departures_on_grid(arrivals, interval, seed):
+    output = TimedMix(interval).transform(arrivals, _rng(seed))
+    ticks = output.departure_times / interval
+    assert np.allclose(ticks, np.round(ticks), atol=1e-6)
+    assert np.all(output.departure_times >= output.arrival_times - 1e-9)
+
+
+@_SETTINGS
+@given(
+    arrival_lists,
+    st.integers(min_value=2, max_value=15),
+    st.data(),
+)
+def test_pool_mix_conservation(arrivals, batch_size, data):
+    pool_size = data.draw(st.integers(min_value=0, max_value=batch_size - 1))
+    seed = data.draw(st.integers(0, 9999))
+    output = PoolMix(batch_size, pool_size).transform(arrivals, _rng(seed))
+    # Everything departs, nothing before arrival, batches assigned.
+    assert not np.any(np.isnan(output.departure_times))
+    assert np.all(output.departure_times >= output.arrival_times - 1e-12)
+    assert np.all(output.batch_ids >= 0)
+
+
+@_SETTINGS
+@given(arrival_lists, st.floats(min_value=0.1, max_value=200.0), st.integers(0, 9999))
+def test_stop_and_go_individual_batches(arrivals, mean_delay, seed):
+    output = StopAndGoMix(mean_delay).transform(arrivals, _rng(seed))
+    assert len(set(output.batch_ids.tolist())) == arrivals.size
+    assert np.all(output.departure_times >= output.arrival_times)
+    assert sender_anonymity_entropy(output) == 0.0
+
+
+@_SETTINGS
+@given(arrival_lists, st.integers(min_value=1, max_value=20), st.integers(0, 9999))
+def test_set_entropy_bounded_by_log_batch(arrivals, batch_size, seed):
+    """Mean anonymity entropy never exceeds ln(batch size)."""
+    import math
+
+    output = ThresholdMix(batch_size).transform(arrivals, _rng(seed))
+    assert sender_anonymity_entropy(output) <= math.log(batch_size) + 1e-12

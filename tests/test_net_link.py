@@ -1,0 +1,51 @@
+"""Unit tests for link models."""
+
+import numpy as np
+import pytest
+
+from repro.net.link import ConstantDelayLink, LossyLink
+
+
+class TestConstantDelayLink:
+    def test_default_paper_delay(self):
+        assert ConstantDelayLink().transmission_delay() == 1.0
+
+    def test_custom_delay(self):
+        assert ConstantDelayLink(delay=2.5).transmission_delay() == 2.5
+
+    def test_always_delivers(self):
+        link = ConstantDelayLink()
+        assert all(link.delivers() for _ in range(100))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantDelayLink(delay=-1.0)
+
+
+class TestLossyLink:
+    def _rng(self, seed=0):
+        return np.random.Generator(np.random.PCG64(seed))
+
+    def test_loss_rate_statistical(self):
+        link = LossyLink(delay=1.0, loss_probability=0.3, rng=self._rng())
+        delivered = sum(link.delivers() for _ in range(20_000))
+        assert delivered / 20_000 == pytest.approx(0.7, abs=0.02)
+
+    def test_zero_loss_always_delivers(self):
+        link = LossyLink(delay=1.0, loss_probability=0.0, rng=self._rng())
+        assert all(link.delivers() for _ in range(100))
+
+    def test_inherits_delay(self):
+        link = LossyLink(delay=3.0, loss_probability=0.1, rng=self._rng())
+        assert link.transmission_delay() == 3.0
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            LossyLink(delay=1.0, loss_probability=1.0, rng=self._rng())
+        with pytest.raises(ValueError):
+            LossyLink(delay=1.0, loss_probability=-0.1, rng=self._rng())
+
+    def test_reproducible_given_seed(self):
+        a = LossyLink(1.0, 0.5, self._rng(9))
+        b = LossyLink(1.0, 0.5, self._rng(9))
+        assert [a.delivers() for _ in range(50)] == [b.delivers() for _ in range(50)]

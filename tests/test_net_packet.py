@@ -1,0 +1,79 @@
+"""Unit tests for packets, headers and adversary observations."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketObservation, RoutingHeader
+
+
+def _packet(**overrides):
+    defaults = dict(
+        header=RoutingHeader(previous_hop=5, origin=5, routing_seq=0, hop_count=0),
+        payload=None,
+        flow_id=1,
+        created_at=12.5,
+        packet_id=0,
+    )
+    defaults.update(overrides)
+    return Packet(**defaults)
+
+
+class TestRoutingHeader:
+    def test_forwarded_increments_hop_count(self):
+        header = RoutingHeader(previous_hop=5, origin=5, routing_seq=3, hop_count=0)
+        forwarded = header.forwarded(by_node=9)
+        assert forwarded.hop_count == 1
+        assert forwarded.previous_hop == 9
+
+    def test_forwarded_preserves_origin_and_seq(self):
+        header = RoutingHeader(previous_hop=5, origin=5, routing_seq=3, hop_count=0)
+        forwarded = header.forwarded(by_node=9)
+        assert forwarded.origin == 5
+        assert forwarded.routing_seq == 3
+
+    def test_forwarded_is_new_object(self):
+        header = RoutingHeader(previous_hop=5, origin=5, routing_seq=3, hop_count=0)
+        assert header.forwarded(by_node=9) is not header
+        assert header.hop_count == 0  # original untouched
+
+    def test_chained_forwarding(self):
+        header = RoutingHeader(previous_hop=5, origin=5, routing_seq=0, hop_count=0)
+        for node in (6, 7, 8):
+            header = header.forwarded(by_node=node)
+        assert header.hop_count == 3
+        assert header.previous_hop == 8
+
+
+class TestObservation:
+    def test_observation_carries_cleartext_header(self):
+        packet = _packet()
+        obs = packet.observe(arrival_time=99.0)
+        assert obs.arrival_time == 99.0
+        assert obs.origin == 5
+        assert obs.hop_count == 0
+        assert obs.routing_seq == 0
+        assert obs.previous_hop == 5
+
+    def test_observation_has_no_ground_truth_fields(self):
+        """The threat-model firewall: no creation time, no payload."""
+        obs = _packet().observe(arrival_time=99.0)
+        field_names = set(vars(obs))
+        assert "created_at" not in field_names
+        assert "payload" not in field_names
+        assert "flow_id" not in field_names
+        assert "packet" not in field_names
+
+    def test_observation_is_frozen(self):
+        obs = _packet().observe(arrival_time=1.0)
+        with pytest.raises(AttributeError):
+            obs.arrival_time = 2.0  # type: ignore[misc]
+
+    def test_observation_is_value_type(self):
+        a = _packet().observe(arrival_time=1.0)
+        b = _packet().observe(arrival_time=1.0)
+        assert a == b
+
+    def test_direct_construction(self):
+        obs = PacketObservation(
+            arrival_time=5.0, previous_hop=2, origin=1, routing_seq=7, hop_count=4
+        )
+        assert obs.hop_count == 4

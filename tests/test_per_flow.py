@@ -1,0 +1,42 @@
+"""Tests for the per-flow privacy experiment."""
+
+import pytest
+
+from repro.experiments.per_flow import FLOW_HOPS, per_flow_privacy
+
+
+class TestPerFlowPrivacy:
+    def test_rows_sorted_by_hop_count(self):
+        rows = per_flow_privacy(n_packets=120, seed=3)
+        hops = [row.hop_count for row in rows]
+        assert hops == sorted(hops) == [9, 11, 15, 22]
+
+    def test_all_flows_present(self):
+        rows = per_flow_privacy(n_packets=120, seed=3)
+        assert {row.label for row in rows} == {"S1", "S2", "S3", "S4"}
+        assert {row.flow_id for row in rows} == set(FLOW_HOPS)
+
+    def test_privacy_grows_with_path_length_rcad(self):
+        rows = per_flow_privacy(case="rcad", n_packets=250, seed=4)
+        mses = [row.mse for row in rows]
+        # Approximately monotone at this sample size (adjacent hop
+        # counts 9 vs 11 can swap within noise); endpoints dominate.
+        assert all(b > 0.8 * a for a, b in zip(mses, mses[1:]))
+        assert mses[-1] > 2 * mses[0]  # S2 (22 hops) >> S3 (9 hops)
+
+    def test_privacy_grows_with_path_length_unlimited(self):
+        rows = per_flow_privacy(case="unlimited", n_packets=250, seed=4)
+        mses = [row.mse for row in rows]
+        assert all(b > 0.8 * a for a, b in zip(mses, mses[1:]))
+        assert mses[-1] > 1.5 * mses[0]
+
+    def test_unlimited_mse_tracks_variance_law(self):
+        """Case-2 MSE per flow ~ h / mu^2 = 900 h."""
+        rows = per_flow_privacy(case="unlimited", n_packets=300, seed=5)
+        for row in rows:
+            assert row.mse == pytest.approx(900.0 * row.hop_count, rel=0.45)
+
+    def test_latency_grows_with_path_length(self):
+        rows = per_flow_privacy(case="rcad", n_packets=200, seed=6)
+        latencies = [row.mean_latency for row in rows]
+        assert latencies == sorted(latencies)

@@ -1,0 +1,160 @@
+"""Unit tests for the analytic M/M/infinity and M/M/k/k models."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.queueing.erlang import erlang_b
+from repro.queueing.mminf import MMInfinityQueue
+from repro.queueing.mmkk import MMkkQueue
+
+# The paper's single-flow operating point: lambda = 0.5, 1/mu = 30.
+PAPER_QUEUE = MMInfinityQueue(arrival_rate=0.5, service_rate=1.0 / 30.0)
+
+
+class TestMMInfinity:
+    def test_offered_load_is_mean_occupancy(self):
+        assert PAPER_QUEUE.offered_load == pytest.approx(15.0)
+        assert PAPER_QUEUE.mean_occupancy == pytest.approx(15.0)
+        assert PAPER_QUEUE.occupancy_variance == pytest.approx(15.0)
+
+    def test_pmf_is_poisson(self):
+        # p_k = rho^k e^-rho / k! (paper Section 4).
+        rho = PAPER_QUEUE.offered_load
+        for k in (0, 1, 15, 40):
+            expected = rho**k * math.exp(-rho) / math.factorial(k)
+            assert PAPER_QUEUE.occupancy_pmf(k) == pytest.approx(expected, rel=1e-9)
+
+    def test_pmf_sums_to_one(self):
+        total = sum(PAPER_QUEUE.occupancy_pmf(k) for k in range(200))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_pmf_negative_is_zero(self):
+        assert PAPER_QUEUE.occupancy_pmf(-1) == 0.0
+
+    def test_zero_load_degenerate(self):
+        queue = MMInfinityQueue(arrival_rate=0.0, service_rate=1.0)
+        assert queue.occupancy_pmf(0) == 1.0
+        assert queue.occupancy_pmf(3) == 0.0
+
+    def test_cdf_and_quantile_consistent(self):
+        q90 = PAPER_QUEUE.occupancy_quantile(0.9)
+        assert PAPER_QUEUE.occupancy_cdf(q90) >= 0.9
+        assert PAPER_QUEUE.occupancy_cdf(q90 - 1) < 0.9
+
+    def test_mean_sojourn_is_inverse_mu(self):
+        assert PAPER_QUEUE.mean_sojourn == pytest.approx(30.0)
+
+    def test_transient_starts_at_initial_and_converges(self):
+        assert PAPER_QUEUE.transient_mean_occupancy(0.0) == 0.0
+        assert PAPER_QUEUE.transient_mean_occupancy(0.0, initial=4) == 4.0
+        late = PAPER_QUEUE.transient_mean_occupancy(10_000.0)
+        assert late == pytest.approx(15.0, rel=1e-6)
+
+    def test_transient_monotone_from_empty(self):
+        values = [PAPER_QUEUE.transient_mean_occupancy(t) for t in (0, 10, 30, 90, 300)]
+        assert values == sorted(values)
+
+    def test_sojourn_pdf(self):
+        assert PAPER_QUEUE.sojourn_pdf(0.0) == pytest.approx(1.0 / 30.0)
+        assert PAPER_QUEUE.sojourn_pdf(-1.0) == 0.0
+
+    def test_departure_rate_burke(self):
+        assert PAPER_QUEUE.departure_rate() == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMInfinityQueue(arrival_rate=-1.0, service_rate=1.0)
+        with pytest.raises(ValueError):
+            MMInfinityQueue(arrival_rate=1.0, service_rate=0.0)
+        with pytest.raises(ValueError):
+            PAPER_QUEUE.transient_mean_occupancy(-1.0)
+        with pytest.raises(ValueError):
+            PAPER_QUEUE.occupancy_quantile(1.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=50.0),
+        st.floats(min_value=0.01, max_value=50.0),
+    )
+    def test_mean_equals_rho_property(self, lam, mu):
+        queue = MMInfinityQueue(arrival_rate=lam, service_rate=mu)
+        assert queue.mean_occupancy == pytest.approx(lam / mu)
+
+
+class TestMMkk:
+    # The paper's RCAD operating point at 1/lambda = 2 on the trunk.
+    QUEUE = MMkkQueue(arrival_rate=0.5, service_rate=1.0 / 30.0, capacity=10)
+
+    def test_blocking_matches_erlang(self):
+        assert self.QUEUE.blocking_probability == pytest.approx(erlang_b(15.0, 10))
+
+    def test_pmf_truncated_and_normalized(self):
+        total = sum(self.QUEUE.occupancy_pmf(n) for n in range(11))
+        assert total == pytest.approx(1.0, abs=1e-12)
+        assert self.QUEUE.occupancy_pmf(11) == 0.0
+        assert self.QUEUE.occupancy_pmf(-1) == 0.0
+
+    def test_pmf_proportional_to_poisson(self):
+        """Truncation preserves ratios: p_k / p_0 = rho^k / k!."""
+        rho = self.QUEUE.offered_load
+        ratio = self.QUEUE.occupancy_pmf(3) / self.QUEUE.occupancy_pmf(0)
+        assert ratio == pytest.approx(rho**3 / math.factorial(3), rel=1e-9)
+
+    def test_blocking_is_full_state_probability(self):
+        """PASTA: arriving packets see the time-average full probability."""
+        assert self.QUEUE.occupancy_pmf(10) == pytest.approx(
+            self.QUEUE.blocking_probability, rel=1e-9
+        )
+
+    def test_carried_rate(self):
+        expected = 0.5 * (1.0 - self.QUEUE.blocking_probability)
+        assert self.QUEUE.carried_rate == pytest.approx(expected)
+
+    def test_littles_law(self):
+        """E[N] = carried rate * mean service time."""
+        assert self.QUEUE.mean_occupancy == pytest.approx(
+            self.QUEUE.carried_rate * 30.0, rel=1e-9
+        )
+
+    def test_mean_occupancy_below_capacity(self):
+        assert self.QUEUE.mean_occupancy < 10
+
+    def test_preemption_rate(self):
+        assert self.QUEUE.preemption_rate() == pytest.approx(
+            0.5 * self.QUEUE.blocking_probability
+        )
+
+    def test_cdf_reaches_one(self):
+        assert self.QUEUE.occupancy_cdf(10) == pytest.approx(1.0)
+        assert self.QUEUE.occupancy_cdf(500) == pytest.approx(1.0)
+
+    def test_light_load_rarely_blocks(self):
+        queue = MMkkQueue(arrival_rate=0.05, service_rate=1.0 / 30.0, capacity=10)
+        assert queue.blocking_probability < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMkkQueue(arrival_rate=1.0, service_rate=1.0, capacity=0)
+        with pytest.raises(ValueError):
+            MMkkQueue(arrival_rate=-1.0, service_rate=1.0, capacity=1)
+        with pytest.raises(ValueError):
+            MMkkQueue(arrival_rate=1.0, service_rate=-1.0, capacity=1)
+
+    @given(
+        st.floats(min_value=0.01, max_value=30.0),
+        st.floats(min_value=0.01, max_value=5.0),
+        st.integers(min_value=1, max_value=30),
+    )
+    def test_truncated_mminf_relationship(self, rho, mu, k):
+        """M/M/k/k pmf equals the conditioned M/M/inf pmf."""
+        lam = rho * mu  # bound the offered load so the Poisson tail
+        # mass below k does not underflow to zero.
+        bounded = MMkkQueue(arrival_rate=lam, service_rate=mu, capacity=k)
+        unbounded = MMInfinityQueue(arrival_rate=lam, service_rate=mu)
+        mass = unbounded.occupancy_cdf(k)
+        for n in (0, k // 2, k):
+            assert bounded.occupancy_pmf(n) == pytest.approx(
+                unbounded.occupancy_pmf(n) / mass, rel=1e-6
+            )

@@ -1,0 +1,120 @@
+"""Unit tests for Poisson process utilities."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.poisson import (
+    PoissonProcess,
+    interarrival_cv2,
+    merge_poisson_rates,
+    sample_poisson_arrivals,
+    thin_poisson_rate,
+)
+
+
+class TestSampling:
+    def test_count_matches_rate(self, rng):
+        arrivals = sample_poisson_arrivals(rate=2.0, horizon=5000.0, rng=rng)
+        assert arrivals.size == pytest.approx(10000, rel=0.05)
+
+    def test_arrivals_sorted_and_in_window(self, rng):
+        arrivals = sample_poisson_arrivals(rate=1.0, horizon=100.0, rng=rng)
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals.min() >= 0.0 and arrivals.max() < 100.0
+
+    def test_interarrival_cv2_near_one(self, rng):
+        arrivals = sample_poisson_arrivals(rate=1.0, horizon=20000.0, rng=rng)
+        assert interarrival_cv2(arrivals) == pytest.approx(1.0, abs=0.1)
+
+    def test_zero_rate_gives_no_arrivals(self, rng):
+        assert sample_poisson_arrivals(0.0, 100.0, rng).size == 0
+
+    def test_zero_horizon_gives_no_arrivals(self, rng):
+        assert sample_poisson_arrivals(1.0, 0.0, rng).size == 0
+
+    def test_negative_inputs_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_poisson_arrivals(-1.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            sample_poisson_arrivals(1.0, -10.0, rng)
+
+
+class TestRateAlgebra:
+    def test_merge_sums_rates(self):
+        assert merge_poisson_rates([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+
+    def test_merge_empty_is_zero(self):
+        assert merge_poisson_rates([]) == 0.0
+
+    def test_merge_rejects_negative(self):
+        with pytest.raises(ValueError):
+            merge_poisson_rates([0.1, -0.2])
+
+    def test_thinning(self):
+        assert thin_poisson_rate(2.0, 0.25) == pytest.approx(0.5)
+
+    def test_thinning_bounds(self):
+        with pytest.raises(ValueError):
+            thin_poisson_rate(1.0, 1.5)
+        with pytest.raises(ValueError):
+            thin_poisson_rate(-1.0, 0.5)
+
+
+class TestPoissonProcess:
+    def test_mean_interarrival(self):
+        assert PoissonProcess(rate=0.5).mean_interarrival == 2.0
+
+    def test_count_pmf_sums_to_one(self):
+        process = PoissonProcess(rate=0.5)
+        total = sum(process.count_pmf(n, horizon=10.0) for n in range(100))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_count_pmf_known_value(self):
+        # Poisson(2) at n=3: 2^3 e^-2 / 3! = 0.18044...
+        assert PoissonProcess(rate=0.5).count_pmf(3, horizon=4.0) == pytest.approx(
+            0.180447, abs=1e-5
+        )
+
+    def test_count_pmf_negative_is_zero(self):
+        assert PoissonProcess(rate=1.0).count_pmf(-1, horizon=1.0) == 0.0
+
+    def test_count_mean(self):
+        assert PoissonProcess(rate=0.25).count_mean(horizon=8.0) == 2.0
+
+    def test_interarrival_pdf(self):
+        process = PoissonProcess(rate=2.0)
+        assert process.interarrival_pdf(0.0) == pytest.approx(2.0)
+        assert process.interarrival_pdf(-1.0) == 0.0
+
+    def test_erlang_creation_time_mean(self):
+        # X_j has mean j / lambda (Section 3.2).
+        assert PoissonProcess(rate=0.5).erlang_creation_time_mean(10) == 20.0
+
+    def test_erlang_creation_time_rejects_zero(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(rate=1.0).erlang_creation_time_mean(0)
+
+    def test_superpose(self):
+        merged = PoissonProcess(0.1).superpose(PoissonProcess(0.2), PoissonProcess(0.3))
+        assert merged.rate == pytest.approx(0.6)
+
+    def test_sample_delegates(self, rng):
+        samples = PoissonProcess(rate=1.0).sample(horizon=100.0, rng=rng)
+        assert samples.size > 50
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(rate=0.0)
+
+
+class TestCv2Validation:
+    def test_cv2_needs_three_points(self):
+        with pytest.raises(ValueError):
+            interarrival_cv2([1.0, 2.0])
+
+    def test_cv2_of_periodic_is_zero(self):
+        assert interarrival_cv2(np.arange(100.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_cv2_identical_times_rejected(self):
+        with pytest.raises(ValueError):
+            interarrival_cv2([5.0, 5.0, 5.0])

@@ -1,0 +1,86 @@
+"""Simulation-vs-theory tests for the queue simulators.
+
+These are the Section 4 validation experiments in miniature: the DES
+engine must reproduce the closed forms within sampling error.
+"""
+
+import pytest
+
+from repro.queueing.erlang import erlang_b
+from repro.queueing.simq import SimulatedMMInfinity, SimulatedMMkk
+
+
+class TestSimulatedMMInfinity:
+    def test_mean_occupancy_matches_rho(self):
+        stats = SimulatedMMInfinity(
+            arrival_rate=0.5, service_rate=1.0 / 30.0, seed=1
+        ).run(horizon=30_000.0)
+        assert stats["mean_occupancy"] == pytest.approx(15.0, rel=0.08)
+
+    def test_mean_sojourn_matches_inverse_mu(self):
+        stats = SimulatedMMInfinity(
+            arrival_rate=0.5, service_rate=1.0 / 30.0, seed=2
+        ).run(horizon=30_000.0)
+        assert stats["mean_sojourn"] == pytest.approx(30.0, rel=0.08)
+
+    def test_occupancy_distribution_is_poissonish(self):
+        """TV distance between simulated occupancy and Poisson(rho)."""
+        from repro.queueing.mminf import MMInfinityQueue
+
+        stats = SimulatedMMInfinity(
+            arrival_rate=1.0, service_rate=0.2, seed=3
+        ).run(horizon=30_000.0)
+        analytic = MMInfinityQueue(arrival_rate=1.0, service_rate=0.2)
+        support = range(0, 40)
+        tv = 0.5 * sum(
+            abs(stats["occupancy_distribution"].get(k, 0.0) - analytic.occupancy_pmf(k))
+            for k in support
+        )
+        assert tv < 0.05
+
+    def test_distribution_sums_to_one(self):
+        stats = SimulatedMMInfinity(1.0, 1.0, seed=4).run(horizon=5000.0)
+        assert sum(stats["occupancy_distribution"].values()) == pytest.approx(1.0)
+
+    def test_completed_count_positive(self):
+        stats = SimulatedMMInfinity(1.0, 1.0, seed=5).run(horizon=500.0)
+        assert stats["completed"] > 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedMMInfinity(0.0, 1.0)
+        with pytest.raises(ValueError):
+            SimulatedMMInfinity(1.0, -1.0)
+
+
+class TestSimulatedMMkk:
+    def test_blocking_matches_erlang_heavy_load(self):
+        stats = SimulatedMMkk(
+            arrival_rate=0.5, service_rate=1.0 / 30.0, capacity=10, seed=1
+        ).run(horizon=30_000.0)
+        assert stats["blocking_probability"] == pytest.approx(
+            erlang_b(15.0, 10), abs=0.03
+        )
+
+    def test_blocking_matches_erlang_light_load(self):
+        stats = SimulatedMMkk(
+            arrival_rate=0.1, service_rate=1.0 / 30.0, capacity=10, seed=2
+        ).run(horizon=60_000.0)
+        assert stats["blocking_probability"] == pytest.approx(
+            erlang_b(3.0, 10), abs=0.01
+        )
+
+    def test_occupancy_never_exceeds_capacity(self):
+        stats = SimulatedMMkk(1.0, 0.05, capacity=5, seed=3).run(horizon=5000.0)
+        assert max(stats["occupancy_distribution"]) <= 5
+
+    def test_offered_counts(self):
+        stats = SimulatedMMkk(1.0, 1.0, capacity=2, seed=4).run(horizon=1000.0)
+        assert stats["offered"] == pytest.approx(1000, rel=0.15)
+        assert stats["blocked"] <= stats["offered"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedMMkk(1.0, 1.0, capacity=0)
+        with pytest.raises(ValueError):
+            SimulatedMMkk(-1.0, 1.0, capacity=2)

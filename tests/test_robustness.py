@@ -1,0 +1,91 @@
+"""Tests for the robustness experiments and lossy-link simulation."""
+
+import pytest
+
+from repro.experiments.robustness import figure2_replicated, link_loss_robustness
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import SensorNetworkSimulator
+
+
+class TestLossySimulation:
+    def _run(self, loss, n_packets=150, seed=4):
+        config = SimulationConfig.paper_baseline(
+            interarrival=4.0, case="rcad", n_packets=n_packets, seed=seed
+        )
+        config.link_loss_probability = loss
+        return SensorNetworkSimulator(config).run()
+
+    def test_zero_loss_delivers_everything(self):
+        result = self._run(0.0)
+        assert result.lost_in_transit == 0
+        assert result.delivered_count() == 4 * 150
+
+    def test_loss_reduces_delivery(self):
+        result = self._run(0.05)
+        assert result.lost_in_transit > 0
+        assert result.delivered_count() < 4 * 150
+        assert (
+            result.delivered_count() + result.lost_in_transit == 4 * 150
+        )  # conservation: every packet delivered or lost on the air
+
+    def test_longer_paths_lose_more(self):
+        """S2 (22 hops) survives less often than S3 (9 hops)."""
+        result = self._run(0.05, n_packets=300)
+        s2_rate = result.delivered_count(2) / 300
+        s3_rate = result.delivered_count(3) / 300
+        assert s3_rate > s2_rate
+
+    def test_survival_matches_bernoulli_expectation(self):
+        """15-hop flow at loss p: delivery ~ (1-p)^15."""
+        result = self._run(0.05, n_packets=400)
+        expected = (1 - 0.05) ** 15
+        assert result.delivered_count(1) / 400 == pytest.approx(expected, abs=0.08)
+
+    def test_loss_probability_validated(self):
+        import dataclasses
+
+        config = SimulationConfig.paper_baseline(interarrival=4.0, case="rcad")
+        with pytest.raises(ValueError):
+            dataclasses.replace(config, link_loss_probability=1.0)
+
+
+class TestLinkLossRobustness:
+    def test_privacy_erodes_with_loss(self):
+        rows = link_loss_robustness(
+            loss_probabilities=(0.0, 0.1), n_packets=200, seed=5
+        )
+        lossless, lossy = rows
+        assert lossless.delivered_fraction == pytest.approx(1.0)
+        assert lossy.delivered_fraction < 0.5
+        # Fewer packets reach the trunk -> fewer preemptions -> delays
+        # drift back toward the advertised law -> adversary improves.
+        assert lossy.preemptions < lossless.preemptions
+        assert lossy.mse < lossless.mse
+
+    def test_rows_aligned_with_sweep(self):
+        sweep = (0.0, 0.02, 0.05)
+        rows = link_loss_robustness(
+            loss_probabilities=sweep, n_packets=120, seed=6
+        )
+        assert tuple(row.loss_probability for row in rows) == sweep
+
+
+class TestFigure2Replicated:
+    def test_cases_separate_beyond_confidence_intervals(self):
+        cells = figure2_replicated(
+            n_replications=3, n_packets=150, base_seed=40
+        )
+        by_case = {cell.case: cell for cell in cells}
+        rcad = by_case["rcad"]
+        unlimited = by_case["unlimited"]
+        # The headline gap is far wider than either interval.
+        assert rcad.mse.ci_low > unlimited.mse.ci_high
+        assert rcad.latency.ci_high < unlimited.latency.ci_low
+
+    def test_stats_have_requested_replications(self):
+        cells = figure2_replicated(n_replications=3, n_packets=100, base_seed=60)
+        assert all(cell.mse.n == 3 for cell in cells)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            figure2_replicated(n_replications=1, n_packets=50)

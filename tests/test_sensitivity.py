@@ -1,0 +1,78 @@
+"""Tests for the sensitivity experiments."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    buffer_size_sweep,
+    mean_delay_sweep,
+    workload_sensitivity,
+)
+
+
+class TestWorkloadSensitivity:
+    def test_all_workloads_reported(self):
+        rows = workload_sensitivity(n_packets=100, seed=2)
+        assert {row.workload for row in rows} == {
+            "periodic", "jittered", "poisson", "on-off",
+        }
+
+    def test_privacy_boost_survives_every_workload(self):
+        """The RCAD MSE stays far above the case-2 variance scale
+        (~1.4e4) whatever the traffic model."""
+        rows = workload_sensitivity(n_packets=150, seed=3)
+        for row in rows:
+            assert row.mse > 3e4, row.workload
+            assert row.preemptions > 0, row.workload
+
+
+class TestBufferSizeSweep:
+    def test_privacy_decays_with_memory(self):
+        rows = buffer_size_sweep(capacities=(2, 10, 40), n_packets=150, seed=4)
+        mses = [row.mse for row in rows]
+        assert mses == sorted(mses, reverse=True)
+
+    def test_latency_grows_with_memory(self):
+        rows = buffer_size_sweep(capacities=(2, 10, 40), n_packets=150, seed=4)
+        latencies = [row.mean_latency for row in rows]
+        assert latencies == sorted(latencies)
+
+    def test_preemption_vanishes_above_offered_load(self):
+        """rho on the trunk is 60 Erlang at 1/lambda = 2: k = 100
+        never fills."""
+        rows = buffer_size_sweep(capacities=(100,), n_packets=150, seed=5)
+        assert rows[0].preemptions == 0
+        # ...and the MSE collapses to the case-2 variance scale.
+        assert rows[0].mse < 3e4
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            buffer_size_sweep(capacities=(0,), n_packets=50)
+
+
+class TestMeanDelaySweep:
+    def test_rows_cover_both_cases(self):
+        rows = mean_delay_sweep(mean_delays=(15.0, 60.0), n_packets=100, seed=6)
+        assert {(row.mean_delay, row.case) for row in rows} == {
+            (15.0, "unlimited"), (15.0, "rcad"),
+            (60.0, "unlimited"), (60.0, "rcad"),
+        }
+
+    def test_unlimited_mse_scales_quadratically(self):
+        """Doubling 1/mu roughly quadruples the case-2 MSE (h/mu^2)."""
+        rows = mean_delay_sweep(mean_delays=(30.0, 60.0), n_packets=200, seed=7)
+        unlimited = {row.mean_delay: row.mse
+                     for row in rows if row.case == "unlimited"}
+        ratio = unlimited[60.0] / unlimited[30.0]
+        assert 2.5 < ratio < 6.5
+
+    def test_rcad_dominates_frontier_at_long_delays(self):
+        """At a large advertised delay, RCAD posts both more privacy
+        and less latency than the unlimited network."""
+        rows = mean_delay_sweep(mean_delays=(120.0,), n_packets=150, seed=8)
+        by_case = {row.case: row for row in rows}
+        assert by_case["rcad"].mse > by_case["unlimited"].mse
+        assert by_case["rcad"].mean_latency < by_case["unlimited"].mean_latency
+
+    def test_invalid_delay_rejected(self):
+        with pytest.raises(ValueError):
+            mean_delay_sweep(mean_delays=(0.0,), n_packets=50)

@@ -1,0 +1,194 @@
+"""Unit tests for the traffic generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.queueing.poisson import interarrival_cv2
+from repro.traffic.generators import (
+    JitteredPeriodicTraffic,
+    MMPPTraffic,
+    OnOffTraffic,
+    PeriodicTraffic,
+    PoissonTraffic,
+    TraceTraffic,
+)
+
+
+def _rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+class TestPeriodic:
+    def test_exact_times(self):
+        times = PeriodicTraffic(interval=2.0).creation_times(4, _rng())
+        np.testing.assert_allclose(times, [2.0, 4.0, 6.0, 8.0])
+
+    def test_custom_phase(self):
+        times = PeriodicTraffic(interval=2.0, phase=0.5).creation_times(3, _rng())
+        np.testing.assert_allclose(times, [0.5, 2.5, 4.5])
+
+    def test_mean_rate(self):
+        assert PeriodicTraffic(interval=4.0).mean_rate() == 0.25
+
+    def test_zero_packets(self):
+        assert PeriodicTraffic(interval=1.0).creation_times(0, _rng()).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicTraffic(interval=0.0)
+        with pytest.raises(ValueError):
+            PeriodicTraffic(interval=1.0, phase=-1.0)
+        with pytest.raises(ValueError):
+            PeriodicTraffic(interval=1.0).creation_times(-1, _rng())
+
+    @given(
+        st.floats(min_value=0.01, max_value=100.0),
+        st.integers(min_value=1, max_value=200),
+    )
+    def test_gaps_equal_interval_property(self, interval, n):
+        times = PeriodicTraffic(interval=interval).creation_times(n, _rng())
+        if n > 1:
+            np.testing.assert_allclose(np.diff(times), interval, rtol=1e-9)
+
+
+class TestPoisson:
+    def test_mean_gap(self):
+        times = PoissonTraffic(rate=0.5).creation_times(20_000, _rng())
+        gaps = np.diff(np.concatenate([[0.0], times]))
+        assert gaps.mean() == pytest.approx(2.0, rel=0.05)
+
+    def test_cv2_near_one(self):
+        times = PoissonTraffic(rate=1.0).creation_times(20_000, _rng(1))
+        assert interarrival_cv2(times) == pytest.approx(1.0, abs=0.05)
+
+    def test_sorted_and_positive(self):
+        times = PoissonTraffic(rate=1.0).creation_times(100, _rng(2))
+        assert np.all(np.diff(times) >= 0)
+        assert np.all(times > 0)
+
+    def test_mean_rate(self):
+        assert PoissonTraffic(rate=0.3).mean_rate() == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonTraffic(rate=0.0)
+
+
+class TestJitteredPeriodic:
+    def test_preserves_order(self):
+        model = JitteredPeriodicTraffic(interval=2.0, jitter=0.9)
+        times = model.creation_times(500, _rng(3))
+        assert np.all(np.diff(times) > 0)
+
+    def test_zero_jitter_is_periodic(self):
+        times = JitteredPeriodicTraffic(interval=2.0, jitter=0.0).creation_times(
+            4, _rng()
+        )
+        np.testing.assert_allclose(times, [2.0, 4.0, 6.0, 8.0])
+
+    def test_mean_rate(self):
+        assert JitteredPeriodicTraffic(interval=5.0, jitter=1.0).mean_rate() == 0.2
+
+    def test_jitter_bounds(self):
+        model = JitteredPeriodicTraffic(interval=2.0, jitter=0.5)
+        times = model.creation_times(1000, _rng(4))
+        base = 2.0 + 2.0 * np.arange(1000)
+        assert np.all(np.abs(times - base) <= 0.5 + 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JitteredPeriodicTraffic(interval=2.0, jitter=1.0)  # >= interval/2
+        with pytest.raises(ValueError):
+            JitteredPeriodicTraffic(interval=0.0, jitter=0.0)
+
+
+class TestOnOff:
+    def test_burstier_than_poisson(self):
+        model = OnOffTraffic(burst_rate=1.0, mean_on=10.0, mean_off=100.0)
+        times = model.creation_times(4000, _rng(5))
+        assert interarrival_cv2(times) > 2.0
+
+    def test_mean_rate_duty_cycle(self):
+        model = OnOffTraffic(burst_rate=2.0, mean_on=10.0, mean_off=30.0)
+        assert model.mean_rate() == pytest.approx(0.5)
+
+    def test_zero_off_is_pure_poisson_rate(self):
+        model = OnOffTraffic(burst_rate=2.0, mean_on=10.0, mean_off=0.0)
+        assert model.mean_rate() == pytest.approx(2.0)
+
+    def test_long_run_rate_matches(self):
+        model = OnOffTraffic(burst_rate=1.0, mean_on=20.0, mean_off=20.0)
+        times = model.creation_times(20_000, _rng(6))
+        empirical_rate = times.size / times[-1]
+        assert empirical_rate == pytest.approx(model.mean_rate(), rel=0.1)
+
+    def test_requested_count(self):
+        model = OnOffTraffic(burst_rate=1.0, mean_on=5.0, mean_off=5.0)
+        assert model.creation_times(137, _rng(7)).size == 137
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffTraffic(burst_rate=0.0, mean_on=1.0, mean_off=1.0)
+        with pytest.raises(ValueError):
+            OnOffTraffic(burst_rate=1.0, mean_on=0.0, mean_off=1.0)
+
+
+class TestMMPP:
+    def test_mean_rate_two_state_symmetric(self):
+        model = MMPPTraffic(rates=[0.2, 1.8], mean_holding=[10.0, 10.0])
+        assert model.mean_rate() == pytest.approx(1.0)
+
+    def test_mean_rate_weighted_by_holding(self):
+        model = MMPPTraffic(rates=[0.0, 2.0], mean_holding=[30.0, 10.0])
+        assert model.mean_rate() == pytest.approx(0.5)
+
+    def test_long_run_rate_matches(self):
+        model = MMPPTraffic(rates=[0.2, 1.8], mean_holding=[20.0, 20.0])
+        times = model.creation_times(20_000, _rng(8))
+        assert times.size / times[-1] == pytest.approx(1.0, rel=0.12)
+
+    def test_burstier_than_poisson(self):
+        model = MMPPTraffic(rates=[0.05, 3.0], mean_holding=[50.0, 50.0])
+        times = model.creation_times(5000, _rng(9))
+        assert interarrival_cv2(times) > 1.5
+
+    def test_sorted(self):
+        model = MMPPTraffic(rates=[0.5, 1.5], mean_holding=[5.0, 5.0])
+        times = model.creation_times(500, _rng(10))
+        assert np.all(np.diff(times) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMPPTraffic(rates=[1.0], mean_holding=[1.0])
+        with pytest.raises(ValueError):
+            MMPPTraffic(rates=[1.0, 2.0], mean_holding=[1.0])
+        with pytest.raises(ValueError):
+            MMPPTraffic(rates=[1.0, -2.0], mean_holding=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            MMPPTraffic(
+                rates=[1.0, 2.0], mean_holding=[1.0, 1.0], transition=np.ones((3, 3))
+            )
+
+
+class TestTrace:
+    def test_replays_prefix(self):
+        model = TraceTraffic([5.0, 1.0, 3.0])
+        np.testing.assert_allclose(model.creation_times(2, _rng()), [1.0, 3.0])
+
+    def test_exhausting_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceTraffic([1.0]).creation_times(2, _rng())
+
+    def test_mean_rate_from_span(self):
+        assert TraceTraffic([0.0, 1.0, 2.0, 3.0]).mean_rate() == pytest.approx(1.0)
+
+    def test_single_point_rate_zero(self):
+        assert TraceTraffic([5.0]).mean_rate() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceTraffic([])
+        with pytest.raises(ValueError):
+            TraceTraffic([-1.0, 2.0])

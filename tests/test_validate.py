@@ -1,0 +1,33 @@
+"""Tests for the installation self-check."""
+
+from repro.validate import CHECKS, main, run_checks
+
+
+class TestSelfCheck:
+    def test_all_checks_pass(self):
+        outcomes = run_checks(verbose=False)
+        failed = {name for name, error in outcomes.items() if error is not None}
+        assert not failed
+
+    def test_check_registry_covers_subsystems(self):
+        text = " ".join(CHECKS)
+        for keyword in ("des", "crypto", "queueing", "topology", "RCAD"):
+            assert keyword in text
+
+    def test_main_exit_code_and_output(self, capsys):
+        assert main() == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "FAIL" not in out
+        assert f"{len(CHECKS)}/{len(CHECKS)} subsystems healthy" in out
+
+    def test_failure_is_reported_not_raised(self, monkeypatch):
+        import repro.validate as validate
+
+        def broken():
+            raise RuntimeError("injected fault")
+
+        monkeypatch.setitem(validate.CHECKS, "injected", broken)
+        outcomes = run_checks(verbose=False)
+        assert isinstance(outcomes["injected"], RuntimeError)
+        assert main() == 1
