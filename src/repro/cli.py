@@ -8,6 +8,8 @@ code.  Commands:
 * ``fig3`` -- regenerate the Figure 3 adversary comparison;
 * ``run``  -- one simulation of a chosen case at a chosen load, scored
   by a chosen adversary;
+* ``chaos`` -- the fault-injection sweep: delivery, privacy, latency
+  and retransmission overhead vs fault intensity, drop-tail vs RCAD;
 * ``theory`` -- the Section 3 bound validations;
 * ``queueing`` -- the Section 4 closed-form validations.
 
@@ -85,6 +87,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--packets", type=int, default=1000)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--flow", type=int, default=1, help="flow id to score (1..4)")
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="fault-injection sweep: drop-tail vs RCAD under bursty loss, "
+        "jitter, duplication, crashes and ARQ",
+    )
+    chaos.add_argument(
+        "--packets", type=int, default=300,
+        help="packets per source (smaller than the paper's 1000: the sweep "
+        "runs many cells)",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="root random seed")
+    chaos.add_argument(
+        "--intensities", type=str, default="0,0.25,0.5,1.0",
+        help="comma-separated fault intensity values in [0, 1]",
+    )
+    chaos.add_argument(
+        "--interarrival", type=float, default=2.0, help="1/lambda of every source"
+    )
+    chaos.add_argument(
+        "--no-arq", action="store_true",
+        help="skip the ARQ-enabled half of the sweep",
+    )
 
     for name, help_text in (
         ("theory", "Section 3 information-bound validations"),
@@ -191,6 +216,29 @@ def _cmd_run(args: argparse.Namespace) -> None:
     print(f"drops           : {result.drop_count()}")
 
 
+def _parse_intensities(raw: str) -> tuple[float, ...]:
+    try:
+        values = tuple(float(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"invalid --intensities value: {raw!r}")
+    if not values or any(not 0.0 <= v <= 1.0 for v in values):
+        raise SystemExit("--intensities needs comma-separated values in [0, 1]")
+    return values
+
+
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    from repro.experiments.chaos import chaos_sweep, render_chaos_rows
+
+    rows = chaos_sweep(
+        intensities=_parse_intensities(args.intensities),
+        arq_modes=(False,) if args.no_arq else (False, True),
+        interarrival=args.interarrival,
+        n_packets=args.packets,
+        seed=args.seed,
+    )
+    print(render_chaos_rows(rows))
+
+
 def _cmd_theory(fast: bool) -> None:
     from repro.experiments.theory import (
         delay_distribution_comparison,
@@ -242,6 +290,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _cmd_fig3(args)
     elif args.command == "run":
         _cmd_run(args)
+    elif args.command == "chaos":
+        _cmd_chaos(args)
     elif args.command == "theory":
         _cmd_theory(args.fast)
     elif args.command == "queueing":

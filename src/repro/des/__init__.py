@@ -26,10 +26,13 @@ from repro.des.errors import (
 )
 from repro.des.process import Process, Timeout, WaitEvent, ProcessEvent
 from repro.des.rng import RngRegistry
+from repro.des.timers import BackoffTimer, PeriodicTimer
 
 __all__ = [
     "Simulator",
     "EventHandle",
+    "BackoffTimer",
+    "PeriodicTimer",
     "Process",
     "Timeout",
     "WaitEvent",

@@ -1,0 +1,58 @@
+"""Fault injection: bursty loss, jitter, duplication, crashes, ARQ.
+
+The paper's simulator assumes a lossless PHY with a constant per-hop
+delay (Section 5.2).  Real deployments see bursty radio loss, node
+crashes and link-layer retransmissions -- all of which reshape the
+arrival-time process the adversary observes, which is exactly the
+channel the timing-side-channel literature studies.  This subpackage
+supplies a *composable, declarative* fault layer:
+
+* :class:`~repro.faults.plan.FaultPlan` -- the declarative description
+  attached to :class:`repro.sim.config.SimulationConfig`; a plan with
+  every knob at zero is a strict no-op (the simulator takes the exact
+  pre-fault code paths, bit-identical results);
+* :class:`~repro.faults.gilbert_elliott.GilbertElliottChannel` -- the
+  classic two-state Markov burst-loss model, one chain per
+  transmitting node;
+* :class:`~repro.faults.injector.FaultInjector` -- the runtime that
+  samples every fault decision from named
+  :class:`~repro.des.rng.RngRegistry` streams, so fault realizations
+  are reproducible per seed and decoupled from traffic/delay draws;
+* :class:`~repro.faults.arq.ArqSpec` -- stop-and-wait link ARQ
+  (ACK, timeout, exponential backoff, max retries) so the simulator
+  can model retransmission rather than silent loss; retransmission
+  events are exposed on the result since retries leak timing;
+* :class:`~repro.faults.audit.InvariantAuditor` -- the post-simulation
+  packet-conservation and clock-sanity auditor, raising a structured
+  :class:`~repro.faults.audit.InvariantViolation` on any breach.
+"""
+
+from repro.faults.arq import ArqSpec
+from repro.faults.audit import (
+    ConservationCounters,
+    InvariantAuditor,
+    InvariantViolation,
+)
+from repro.faults.gilbert_elliott import GilbertElliottChannel
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BurstyLossSpec,
+    CrashWindow,
+    DuplicationSpec,
+    FaultPlan,
+    JitterSpec,
+)
+
+__all__ = [
+    "FaultPlan",
+    "BurstyLossSpec",
+    "JitterSpec",
+    "DuplicationSpec",
+    "CrashWindow",
+    "ArqSpec",
+    "GilbertElliottChannel",
+    "FaultInjector",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "ConservationCounters",
+]

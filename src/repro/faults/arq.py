@@ -1,0 +1,106 @@
+"""Stop-and-wait link ARQ: ACK, timeout, exponential backoff, retries.
+
+The paper's link model loses packets *silently*; a real link layer
+retransmits.  :class:`ArqSpec` declares a per-hop stop-and-wait
+protocol: after transmitting a data copy the sender arms a timer; the
+receiver ACKs every copy it hears (including duplicates, since a
+duplicate means the previous ACK was lost); if the timer expires the
+sender retransmits with exponentially backed-off timeouts, up to
+``max_retries`` retransmissions, then abandons the hop.
+
+Retries matter for *privacy*, not just delivery: each retransmission
+is an extra observable emission whose timing correlates with the
+original send, so the simulator logs every retransmission into
+:attr:`repro.sim.results.SimulationResult.retransmissions` where
+adversary models can read it.
+
+:class:`ArqTransfer` is the simulator-side bookkeeping for one hop
+transfer in flight; it lives here so the protocol state machine is
+unit-testable without a simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ArqSpec", "ArqTransfer"]
+
+
+@dataclass(frozen=True)
+class ArqSpec:
+    """Stop-and-wait ARQ parameters for every hop.
+
+    Attributes
+    ----------
+    timeout:
+        Time the sender waits for an ACK before the first
+        retransmission.  Must exceed one round trip (2 * tau) or every
+        transmission would spuriously retransmit; the simulator
+        validates this against the configured transmission delay.
+    max_retries:
+        Retransmissions attempted after the initial copy; once
+        exhausted the hop transfer is abandoned and the packet is lost
+        (unless some earlier copy was in fact received).
+    backoff:
+        Multiplicative timeout growth per retry (2.0 = classic binary
+        exponential backoff).
+    """
+
+    timeout: float = 4.0
+    max_retries: int = 3
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError(f"ARQ timeout must be positive, got {self.timeout}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.backoff < 1.0:
+            raise ValueError(
+                f"backoff must be >= 1 (non-decreasing timeouts), got {self.backoff}"
+            )
+
+    def timeout_for(self, attempt: int) -> float:
+        """Timeout armed after transmission ``attempt`` (0 = initial)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be non-negative, got {attempt}")
+        return self.timeout * self.backoff**attempt
+
+    def total_attempts(self) -> int:
+        """Initial transmission plus all retries."""
+        return 1 + self.max_retries
+
+
+@dataclass
+class ArqTransfer:
+    """One stop-and-wait hop transfer in flight.
+
+    ``received`` flips when the receiver accepts *any* copy -- the
+    god-view flag that distinguishes "abandoned but actually delivered
+    downstream" (ACKs all lost) from a genuinely lost packet.
+    """
+
+    transfer_id: int
+    sender: int
+    receiver: int
+    payload: Any
+    dedup_key: tuple[int, int, int] | None = None
+    attempt: int = 0
+    received: bool = False
+    acked: bool = False
+    abandoned: bool = False
+    copies_in_flight: int = 0
+    """Data copies launched but not yet arrived.  An abandoned transfer
+    with copies still in the air defers its lost/delivered verdict to
+    the last arrival -- a copy already on the air survives its sender's
+    crash."""
+    timer: Any = None
+    retransmit_times: list[float] = field(default_factory=list)
+
+    @property
+    def settled(self) -> bool:
+        """True once the sender has stopped working on this transfer."""
+        return self.acked or self.abandoned

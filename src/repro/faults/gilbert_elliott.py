@@ -1,0 +1,112 @@
+"""The Gilbert-Elliott two-state Markov burst-loss channel.
+
+An i.i.d. Bernoulli loss model (the existing
+:class:`repro.net.link.LossyLink`) cannot produce *bursts*: on real
+radios, fades last many packet times, so losses cluster.  The standard
+minimal model is a two-state Markov chain -- a GOOD state with low loss
+and a BAD state with high loss -- stepped once per transmission:
+
+* from GOOD the channel moves to BAD with probability ``p_good_to_bad``;
+* from BAD it recovers to GOOD with probability ``p_bad_to_good``;
+* a packet sent while the chain is in state ``s`` is lost with
+  probability ``loss_good`` or ``loss_bad`` respectively.
+
+The stationary bad-state probability is
+``pi_bad = p_gb / (p_gb + p_bg)`` and the long-run loss rate is
+``(1 - pi_bad) * loss_good + pi_bad * loss_bad``; mean burst (bad
+sojourn) length is ``1 / p_bad_to_good`` transmissions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GilbertElliottChannel"]
+
+
+class GilbertElliottChannel:
+    """One Gilbert-Elliott chain, stepped at every transmission.
+
+    Parameters
+    ----------
+    p_good_to_bad, p_bad_to_good:
+        Per-transmission state transition probabilities.
+    loss_good, loss_bad:
+        Loss probability of a transmission made in each state.
+    rng:
+        Random stream for both the state walk and the loss draws.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> chan = GilbertElliottChannel(
+    ...     p_good_to_bad=0.5, p_bad_to_good=0.5,
+    ...     loss_good=0.0, loss_bad=1.0,
+    ...     rng=np.random.Generator(np.random.PCG64(0)))
+    >>> isinstance(chan.delivers(), bool)
+    True
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_good: float,
+        loss_bad: float,
+        rng: np.random.Generator,
+    ) -> None:
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.p_good_to_bad = float(p_good_to_bad)
+        self.p_bad_to_good = float(p_bad_to_good)
+        self.loss_good = float(loss_good)
+        self.loss_bad = float(loss_bad)
+        self._rng = rng
+        self.in_bad_state = False
+        self.transitions_to_bad = 0
+
+    # ------------------------------------------------------------------
+    def steady_state_loss(self) -> float:
+        """Long-run loss rate under the stationary state distribution."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0.0:
+            # Absorbing start state: the chain never leaves GOOD.
+            return self.loss_good
+        pi_bad = self.p_good_to_bad / denom
+        return (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+
+    def mean_burst_length(self) -> float:
+        """Expected bad-state sojourn, in transmissions."""
+        if self.p_bad_to_good == 0.0:
+            return float("inf")
+        return 1.0 / self.p_bad_to_good
+
+    # ------------------------------------------------------------------
+    def delivers(self) -> bool:
+        """Step the chain once, then draw the loss for this transmission."""
+        if self.in_bad_state:
+            if self._rng.random() < self.p_bad_to_good:
+                self.in_bad_state = False
+        else:
+            if self._rng.random() < self.p_good_to_bad:
+                self.in_bad_state = True
+                self.transitions_to_bad += 1
+        loss = self.loss_bad if self.in_bad_state else self.loss_good
+        if loss == 0.0:
+            return True
+        if loss == 1.0:
+            return False
+        return bool(self._rng.random() >= loss)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "BAD" if self.in_bad_state else "GOOD"
+        return (
+            f"GilbertElliottChannel(state={state}, "
+            f"p_gb={self.p_good_to_bad:g}, p_bg={self.p_bad_to_good:g})"
+        )

@@ -1,0 +1,118 @@
+"""Runtime fault sampling, seeded through the RNG registry.
+
+The :class:`FaultInjector` turns the declarative
+:class:`~repro.faults.plan.FaultPlan` into per-event decisions.  Every
+stochastic choice draws from a *named* registry stream:
+
+* ``faults/link-{node}`` -- the Gilbert-Elliott chain of the link out
+  of ``node`` (data copies and the ACKs that node transmits share its
+  chain: they traverse the same radio);
+* ``faults/jitter`` -- per-transmission delay jitter;
+* ``faults/duplication`` -- per-transmission duplication coin.
+
+Stream naming keeps fault draws decoupled from traffic and delay draws
+("common random numbers"): enabling a fault family never perturbs the
+packet creation times or the sampled privacy delays, so fault
+experiments stay comparable against the fault-free baseline.
+
+Crash state is *driven* by the simulator (which schedules the
+crash/recovery events) but *owned* here, so every component asks one
+authority whether a node is down.
+"""
+
+from __future__ import annotations
+
+from repro.des.rng import RngRegistry
+from repro.faults.gilbert_elliott import GilbertElliottChannel
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Samples every fault decision for one simulation run."""
+
+    def __init__(self, plan: FaultPlan, rng: RngRegistry) -> None:
+        self.plan = plan
+        self._rng = rng
+        self._channels: dict[int, GilbertElliottChannel] = {}
+        self._crashed: set[int] = set()
+        # Lifetime counters for reporting / auditing.
+        self.link_losses = 0
+        self.duplications = 0
+
+    # ------------------------------------------------------------------
+    # link loss
+    # ------------------------------------------------------------------
+    def channel_for(self, sender: int) -> GilbertElliottChannel | None:
+        """The GE chain of the link transmitted by ``sender``."""
+        spec = self.plan.bursty_loss
+        if spec is None or spec.is_noop:
+            return None
+        channel = self._channels.get(sender)
+        if channel is None:
+            channel = GilbertElliottChannel(
+                p_good_to_bad=spec.p_good_to_bad,
+                p_bad_to_good=spec.p_bad_to_good,
+                loss_good=spec.loss_good,
+                loss_bad=spec.loss_bad,
+                rng=self._rng.stream(f"faults/link-{sender}"),
+            )
+            self._channels[sender] = channel
+        return channel
+
+    def link_delivers(self, sender: int) -> bool:
+        """Whether one transmission by ``sender`` survives the air."""
+        channel = self.channel_for(sender)
+        if channel is None:
+            return True
+        delivered = channel.delivers()
+        if not delivered:
+            self.link_losses += 1
+        return delivered
+
+    # ------------------------------------------------------------------
+    # delay jitter & duplication
+    # ------------------------------------------------------------------
+    def sample_jitter(self) -> float:
+        """Extra delay added to this transmission (0 if disabled)."""
+        spec = self.plan.jitter
+        if spec is None or spec.is_noop:
+            return 0.0
+        return float(self._rng.stream("faults/jitter").random() * spec.amplitude)
+
+    def duplicates(self) -> bool:
+        """Whether this transmission spuriously emits a second copy."""
+        spec = self.plan.duplication
+        if spec is None or spec.is_noop:
+            return False
+        if self._rng.stream("faults/duplication").random() < spec.probability:
+            self.duplications += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # crash state
+    # ------------------------------------------------------------------
+    def mark_crashed(self, node: int) -> None:
+        """Record that ``node`` just went down."""
+        self._crashed.add(node)
+
+    def mark_recovered(self, node: int) -> None:
+        """Record that ``node`` just came back."""
+        self._crashed.discard(node)
+
+    def is_crashed(self, node: int) -> bool:
+        """Whether ``node`` is currently down."""
+        return node in self._crashed
+
+    @property
+    def crashed_nodes(self) -> frozenset[int]:
+        """Snapshot of currently crashed nodes."""
+        return frozenset(self._crashed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector({self.plan.describe()}, "
+            f"crashed={sorted(self._crashed)})"
+        )

@@ -1,0 +1,207 @@
+"""Declarative fault plans attached to a simulation configuration.
+
+A :class:`FaultPlan` composes four orthogonal fault families plus the
+link ARQ resilience mechanism:
+
+* :class:`BurstyLossSpec` -- Gilbert-Elliott burst loss, one chain per
+  transmitting node;
+* :class:`JitterSpec` -- random per-hop delay jitter added to the
+  constant transmission delay tau;
+* :class:`DuplicationSpec` -- spurious packet duplication (the MAC
+  heard its own ACK collide and re-sent; the copy travels one hop and
+  is suppressed by the receiver's duplicate filter);
+* :class:`CrashWindow` -- scheduled node crash/recovery intervals: a
+  crashed node neither receives nor transmits, its buffered packets
+  freeze until recovery (never released mid-crash -- audited), and
+  upstream nodes fail over to a backup parent where one exists;
+* :class:`~repro.faults.arq.ArqSpec` -- stop-and-wait retransmission.
+
+Everything is plain declarative data: the runtime sampling lives in
+:class:`~repro.faults.injector.FaultInjector`, and all randomness is
+drawn from named :class:`~repro.des.rng.RngRegistry` streams so a
+fault realization is a pure function of the simulation seed.
+
+A plan with no active component reports :attr:`FaultPlan.is_noop`,
+and the simulator then takes the exact pre-fault code paths --
+bit-identical results, enforced by test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.arq import ArqSpec
+
+__all__ = [
+    "BurstyLossSpec",
+    "JitterSpec",
+    "DuplicationSpec",
+    "CrashWindow",
+    "FaultPlan",
+]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class BurstyLossSpec:
+    """Gilbert-Elliott parameters shared by every link's chain."""
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    loss_bad: float
+    loss_good: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability("p_good_to_bad", self.p_good_to_bad)
+        _check_probability("p_bad_to_good", self.p_bad_to_good)
+        _check_probability("loss_bad", self.loss_bad)
+        _check_probability("loss_good", self.loss_good)
+        if self.p_good_to_bad > 0 and self.p_bad_to_good == 0 and self.loss_bad < 1:
+            # Allowed (absorbing bad state), but loss_bad == 0 there is
+            # a configuration mistake: the chain wedges in a lossless
+            # "bad" state and the spec silently does nothing.
+            if self.loss_bad == 0 and self.loss_good == 0:
+                raise ValueError(
+                    "absorbing bad state with zero loss everywhere: "
+                    "the spec can never drop a packet"
+                )
+
+    @property
+    def is_noop(self) -> bool:
+        """True if no transmission can ever be lost."""
+        if self.loss_good > 0:
+            return False
+        return self.p_good_to_bad == 0 or self.loss_bad == 0
+
+
+@dataclass(frozen=True)
+class JitterSpec:
+    """Uniform per-hop delay jitter on top of tau.
+
+    Each transmission's delay becomes ``tau + U[0, amplitude)``.
+    Jitter is additive and non-negative so causality (arrival after
+    send) is preserved without clamping.
+    """
+
+    amplitude: float
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0:
+            raise ValueError(
+                f"jitter amplitude must be non-negative, got {self.amplitude}"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        return self.amplitude == 0.0
+
+
+@dataclass(frozen=True)
+class DuplicationSpec:
+    """Per-transmission probability of emitting a spurious second copy."""
+
+    probability: float
+
+    def __post_init__(self) -> None:
+        _check_probability("duplication probability", self.probability)
+
+    @property
+    def is_noop(self) -> bool:
+        return self.probability == 0.0
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One node's scheduled crash interval ``[start, end)``.
+
+    ``end`` may be ``inf`` for a node that never recovers; its frozen
+    buffer contents are then counted as stranded by the invariant
+    auditor rather than delivered.
+    """
+
+    node: int
+    start: float
+    end: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"crash start must be non-negative, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"crash window must end after it starts: [{self.start}, {self.end})"
+            )
+
+    def covers(self, time: float) -> bool:
+        """True if the node is down at ``time``."""
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete declarative fault configuration of one run."""
+
+    bursty_loss: BurstyLossSpec | None = None
+    jitter: JitterSpec | None = None
+    duplication: DuplicationSpec | None = None
+    crashes: tuple[CrashWindow, ...] = field(default_factory=tuple)
+    arq: ArqSpec | None = None
+
+    def __post_init__(self) -> None:
+        # Tolerate lists for ergonomics, store an immutable tuple.
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        by_node: dict[int, list[CrashWindow]] = {}
+        for window in self.crashes:
+            by_node.setdefault(window.node, []).append(window)
+        for node, windows in by_node.items():
+            windows.sort(key=lambda w: w.start)
+            for earlier, later in zip(windows, windows[1:]):
+                if later.start < earlier.end:
+                    raise ValueError(
+                        f"overlapping crash windows for node {node}: "
+                        f"[{earlier.start}, {earlier.end}) and "
+                        f"[{later.start}, {later.end})"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_noop(self) -> bool:
+        """True if this plan cannot alter the simulation in any way.
+
+        The simulator promises *bit-identical* results for no-op plans:
+        it disables the fault machinery entirely rather than running it
+        with zeroed parameters.
+        """
+        if self.crashes or self.arq is not None:
+            return False
+        for spec in (self.bursty_loss, self.jitter, self.duplication):
+            if spec is not None and not spec.is_noop:
+                return False
+        return True
+
+    def crash_nodes(self) -> set[int]:
+        """All nodes with at least one scheduled crash window."""
+        return {window.node for window in self.crashes}
+
+    def describe(self) -> str:
+        """One-line human summary (used by CLI output)."""
+        parts = []
+        if self.bursty_loss is not None and not self.bursty_loss.is_noop:
+            parts.append(
+                f"GE loss ~{self.bursty_loss.p_good_to_bad:g}->"
+                f"{self.bursty_loss.p_bad_to_good:g}@{self.bursty_loss.loss_bad:g}"
+            )
+        if self.jitter is not None and not self.jitter.is_noop:
+            parts.append(f"jitter U[0,{self.jitter.amplitude:g})")
+        if self.duplication is not None and not self.duplication.is_noop:
+            parts.append(f"dup {self.duplication.probability:g}")
+        if self.crashes:
+            parts.append(f"{len(self.crashes)} crash window(s)")
+        if self.arq is not None:
+            parts.append(
+                f"ARQ t/o {self.arq.timeout:g} x{self.arq.total_attempts()}"
+            )
+        return ", ".join(parts) if parts else "no faults"

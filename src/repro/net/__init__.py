@@ -10,7 +10,12 @@ TinyOS MultiHop-style cleartext header next to an encrypted payload.
 
 from repro.net.link import ConstantDelayLink, LossyLink
 from repro.net.packet import Packet, PacketObservation, RoutingHeader
-from repro.net.routing import RoutingTree, greedy_grid_tree, shortest_path_tree
+from repro.net.routing import (
+    RoutingTree,
+    backup_parents,
+    greedy_grid_tree,
+    shortest_path_tree,
+)
 from repro.net.serialization import (
     deployment_from_json,
     deployment_to_json,
@@ -34,6 +39,7 @@ __all__ = [
     "RoutingTree",
     "shortest_path_tree",
     "greedy_grid_tree",
+    "backup_parents",
     "Deployment",
     "grid_deployment",
     "line_deployment",

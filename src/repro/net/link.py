@@ -58,15 +58,22 @@ class LossyLink(ConstantDelayLink):
         rng: np.random.Generator,
     ) -> None:
         super().__init__(delay)
-        if not 0.0 <= loss_probability < 1.0:
+        if not 0.0 <= loss_probability <= 1.0:
             raise ValueError(
-                f"loss probability must be in [0, 1), got {loss_probability}"
+                f"loss probability must be in [0, 1], got {loss_probability}"
             )
         self.loss_probability = float(loss_probability)
         self._rng = rng
 
     def delivers(self) -> bool:
-        """One Bernoulli trial: True if the packet survives the hop."""
+        """One Bernoulli trial: True if the packet survives the hop.
+
+        The closed-interval endpoints short-circuit without consuming
+        randomness: 0 always delivers, and 1 -- a crash-equivalent
+        link, useful for boundary tests -- never does.
+        """
         if self.loss_probability == 0.0:
             return True
+        if self.loss_probability == 1.0:
+            return False
         return bool(self._rng.random() >= self.loss_probability)

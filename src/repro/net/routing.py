@@ -23,7 +23,12 @@ import networkx as nx
 
 from repro.net.topology import Deployment
 
-__all__ = ["RoutingTree", "shortest_path_tree", "greedy_grid_tree"]
+__all__ = [
+    "RoutingTree",
+    "shortest_path_tree",
+    "greedy_grid_tree",
+    "backup_parents",
+]
 
 
 @dataclass(frozen=True)
@@ -94,6 +99,36 @@ class RoutingTree:
         for source in sources:
             involved.update(self.path(source)[:-1])
         return involved
+
+
+def backup_parents(deployment: Deployment, tree: RoutingTree) -> dict[int, int]:
+    """Per-node failover parents for crash resilience.
+
+    A node whose tree parent is down needs somewhere else to forward.
+    The backup parent is the connectivity-graph neighbour -- other than
+    the primary parent -- with the *smallest tree depth* (hops to the
+    sink along the tree), provided that depth is strictly smaller than
+    the node's own.  Strict progress toward the sink guarantees the
+    failover graph is loop-free even if every primary parent fails at
+    once.  Ties break toward the smaller node id, keeping failover
+    deterministic.  Nodes with no qualifying neighbour (e.g. a node
+    whose only closer neighbour *is* its parent) are absent from the
+    mapping and simply lose packets while their parent is down.
+    """
+    graph = deployment.connectivity_graph()
+    depth = {node: tree.hop_count(node) for node in tree.parent}
+    depth[tree.sink] = 0
+    backups: dict[int, int] = {}
+    for node in tree.parent:
+        primary = tree.parent[node]
+        candidates = [
+            (depth[neighbor], neighbor)
+            for neighbor in graph.neighbors(node)
+            if neighbor != primary and depth[neighbor] < depth[node]
+        ]
+        if candidates:
+            backups[node] = min(candidates)[1]
+    return backups
 
 
 def shortest_path_tree(deployment: Deployment) -> RoutingTree:

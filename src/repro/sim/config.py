@@ -14,6 +14,7 @@ from typing import Literal
 
 from repro.core.planner import DelayPlan, UniformPlanner
 from repro.core.victim import VictimPolicy
+from repro.faults.plan import FaultPlan
 from repro.net.routing import RoutingTree, greedy_grid_tree
 from repro.net.topology import Deployment, paper_topology
 from repro.traffic.generators import PeriodicTraffic, TrafficModel
@@ -86,7 +87,14 @@ class SimulationConfig:
     link_loss_probability:
         Probability that any single hop transmission is lost (0 in the
         paper's model; exposed for the robustness extensions -- lossy
-        links perturb the adversary's timing picture too).
+        links perturb the adversary's timing picture too).  1.0 is the
+        crash-equivalent link (nothing ever arrives).
+    faults:
+        Declarative fault plan (bursty loss, jitter, duplication, node
+        crashes, link ARQ), or None for the paper's fault-free model.
+        A plan whose every knob is zero is treated exactly like None:
+        the simulator takes identical code paths and produces
+        bit-identical results.
     routing_policy:
         Per-packet forwarding policy; None (default) follows ``tree``
         for every packet (the paper's model).  Supply a
@@ -119,6 +127,7 @@ class SimulationConfig:
     buffers: BufferSpec = field(default_factory=BufferSpec)
     transmission_delay: float = 1.0
     link_loss_probability: float = 0.0
+    faults: FaultPlan | None = None
     routing_policy: object | None = None
     record_transmissions: bool = False
     record_packet_traces: bool = False
@@ -139,8 +148,23 @@ class SimulationConfig:
                 raise ValueError("the sink cannot be a traffic source")
         if self.transmission_delay < 0:
             raise ValueError("transmission delay must be non-negative")
-        if not 0.0 <= self.link_loss_probability < 1.0:
-            raise ValueError("link loss probability must be in [0, 1)")
+        if not 0.0 <= self.link_loss_probability <= 1.0:
+            raise ValueError("link loss probability must be in [0, 1]")
+        if self.faults is not None:
+            for window in self.faults.crashes:
+                if window.node not in self.deployment.positions:
+                    raise ValueError(
+                        f"crash window targets undeployed node {window.node}"
+                    )
+                if window.node == self.deployment.sink:
+                    raise ValueError("the sink cannot crash (it is the observer)")
+            arq = self.faults.arq
+            if arq is not None and arq.timeout <= 2 * self.transmission_delay:
+                raise ValueError(
+                    f"ARQ timeout {arq.timeout:g} must exceed one round trip "
+                    f"(2 * tau = {2 * self.transmission_delay:g}); every "
+                    "transmission would spuriously retransmit"
+                )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -222,3 +246,7 @@ class SimulationConfig:
     def with_seed(self, seed: int) -> "SimulationConfig":
         """A copy of this configuration under a different seed."""
         return replace(self, seed=seed)
+
+    def with_faults(self, faults: FaultPlan | None) -> "SimulationConfig":
+        """A copy of this configuration under a different fault plan."""
+        return replace(self, faults=faults)

@@ -22,6 +22,11 @@ class NodeStats:
     peak_occupancy: int = 0
     occupancy_time_integral: float = 0.0
     observation_time: float = 0.0
+    lost_in_transit: int = 0
+    """Packets this node transmitted that never reached the next hop
+    (link loss, crashed receiver, or ARQ retry exhaustion)."""
+    retransmissions: int = 0
+    """ARQ retransmissions this node performed as a sender."""
 
     @property
     def mean_occupancy(self) -> float:
@@ -66,6 +71,24 @@ class SimulationResult:
     lost_in_transit: int = 0
     end_time: float = 0.0
     events_processed: int = 0
+    retransmissions: list[tuple[float, int, int]] = field(default_factory=list)
+    """ARQ retransmission log as (time, sender, receiver).  Part of the
+    adversary-visible surface: a retry is a physical emission whose
+    timing correlates with the original send, so adversary models may
+    legitimately consume this log (unlike ``packet_traces``, which are
+    god-view only)."""
+    duplicates_suppressed: int = 0
+    """Extra physical copies (duplication faults, ARQ re-sends of
+    already-received data) discarded by receivers' duplicate filters."""
+    stranded_in_buffer: int = 0
+    """Packets still frozen inside crashed nodes' buffers when the
+    simulation horizon closed."""
+    crash_blackholed: int = 0
+    """Packets that vanished because their receiver was down (subset of
+    ``lost_in_transit``)."""
+    arq_failed: int = 0
+    """Hop transfers abandoned after exhausting ARQ retries with no
+    copy ever received (subset of ``lost_in_transit``)."""
 
     # ------------------------------------------------------------------
     def flow_ids(self) -> list[int]:
@@ -101,6 +124,22 @@ class SimulationResult:
     def total_preemptions(self) -> int:
         """Preemption events across all nodes."""
         return sum(stats.preemptions for stats in self.node_stats.values())
+
+    def total_retransmissions(self) -> int:
+        """ARQ retransmission events across all nodes."""
+        return len(self.retransmissions)
+
+    def loss_by_node(self) -> dict[int, int]:
+        """Per-hop loss locations: transmitting node -> packets lost.
+
+        Sums to :attr:`lost_in_transit` (the per-node counts partition
+        the global counter by the node whose outbound hop failed).
+        """
+        return {
+            node: stats.lost_in_transit
+            for node, stats in sorted(self.node_stats.items())
+            if stats.lost_in_transit
+        }
 
     def mean_latency(self, flow_id: int | None = None) -> float:
         """Average end-to-end latency, over all or one flow's packets."""

@@ -18,13 +18,23 @@ Execution model (paper §5):
    cleartext observation, the ground-truth log records the true
    creation time (cross-checked against the decrypted payload when
    sealing is enabled).
+
+Fault extension (``config.faults``): a :class:`repro.faults.FaultPlan`
+adds Gilbert-Elliott bursty link loss, per-hop delay jitter, packet
+duplication, scheduled node crash/recovery windows (with routing
+failover to a backup parent), and an optional stop-and-wait link ARQ.
+The fault machinery is *strictly disabled* when the plan is absent or
+a no-op: the simulator then takes the exact legacy code paths and
+produces bit-identical results.  Every run -- faulty or not -- ends
+with a packet-conservation and clock audit
+(:class:`repro.faults.audit.InvariantAuditor`), raising
+:class:`repro.faults.audit.InvariantViolation` on any breach.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+import itertools
+from dataclasses import dataclass
 
 from repro.core.buffers import (
     AdmissionOutcome,
@@ -36,9 +46,13 @@ from repro.core.buffers import (
 from repro.core.metrics import PacketRecord
 from repro.crypto.keys import KeyManager
 from repro.crypto.payload import PayloadCodec, SensorReading
-from repro.des import RngRegistry, Simulator
+from repro.des import BackoffTimer, RngRegistry, Simulator
+from repro.faults.arq import ArqTransfer
+from repro.faults.audit import ConservationCounters, InvariantAuditor
+from repro.faults.injector import FaultInjector
 from repro.net.link import ConstantDelayLink, LossyLink
 from repro.net.packet import Packet, RoutingHeader
+from repro.net.routing import backup_parents
 from repro.sim.config import SimulationConfig
 from repro.sim.results import DroppedPacket, NodeStats, SimulationResult
 
@@ -54,6 +68,21 @@ class _TransitPacket:
 
     packet: Packet
     preemptions: int = 0
+
+
+@dataclass
+class _CopySet:
+    """Arriving physical copies of one hop transmission (non-ARQ).
+
+    Tracks how many scheduled arrivals are still in flight and whether
+    any copy has been accepted, so a hop whose every copy is swallowed
+    by a crashed receiver is counted lost exactly once.
+    """
+
+    sender: int
+    remaining: int
+    dedup_key: tuple[int, int, int]
+    accepted: bool = False
 
 
 @dataclass
@@ -107,6 +136,23 @@ class SensorNetworkSimulator:
             from repro.location.policies import TreeRoutingPolicy
 
             self._routing = TreeRoutingPolicy(config.tree)
+        # --- fault layer (None == strict legacy behaviour) ---
+        if config.faults is not None and not config.faults.is_noop:
+            self._faults: FaultInjector | None = FaultInjector(
+                config.faults, self._rng
+            )
+            self._backups = (
+                backup_parents(config.deployment, config.tree)
+                if config.faults.crashes
+                else {}
+            )
+        else:
+            self._faults = None
+            self._backups = {}
+        self._counters = ConservationCounters()
+        self._seen: dict[int, set[tuple[int, int, int]]] = {}
+        self._transfers: dict[int, ArqTransfer] = {}
+        self._transfer_ids = itertools.count()
         self.lost_in_transit = 0
         self._next_routing_seq = 0
         self._ran = False
@@ -117,6 +163,8 @@ class SensorNetworkSimulator:
         if self._ran:
             raise RuntimeError("simulator instances are single-use; build a new one")
         self._ran = True
+        if self._faults is not None:
+            self._schedule_crash_windows()
         self._schedule_creations()
         self._sim.run_until(self.config.max_sim_time)
         if self._sim.peek() != float("inf"):
@@ -138,6 +186,12 @@ class SensorNetworkSimulator:
                 self._sim.schedule(
                     float(created_at), self._on_created, flow, packet_index
                 )
+
+    def _schedule_crash_windows(self) -> None:
+        for window in self.config.faults.crashes:
+            self._sim.schedule(window.start, self._on_crash, window.node)
+            if window.end != float("inf"):
+                self._sim.schedule(window.end, self._on_recover, window.node)
 
     def _node_state(self, node: int) -> _NodeState:
         state = self._nodes.get(node)
@@ -206,6 +260,7 @@ class SensorNetworkSimulator:
         )
         self._routing.first_hop_state((flow.flow_id, packet_index))
         transit = _TransitPacket(packet)
+        self._counters.created += 1
         self._trace(transit, "created", source)
         self._handle_at_node(source, transit)
 
@@ -236,6 +291,7 @@ class SensorNetworkSimulator:
         state.track_occupancy(now, occupancy_before)
         if result.outcome is AdmissionOutcome.DROPPED:
             state.stats.dropped += 1
+            self._counters.buffer_dropped += 1
             self._trace(transit, "dropped", node)
             self._result.dropped.append(
                 DroppedPacket(
@@ -269,31 +325,282 @@ class SensorNetworkSimulator:
             self._transmit(node, victim_transit)
 
     def _on_release(self, node: int, entry_id: int) -> None:
+        if self._faults is not None and self._faults.is_crashed(node):
+            # Must be unreachable: crashing cancels every pending
+            # release.  Counted (not silently ignored) so the auditor
+            # turns any scheduling bug into a loud invariant failure.
+            self._counters.crashed_releases += 1
+            return
         state = self._node_state(node)
         occupancy_before = state.buffer.occupancy
         entry = state.buffer.release(entry_id)
         state.track_occupancy(self._sim.now, occupancy_before)
         self._transmit(node, entry.payload)
 
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
     def _transmit(self, node: int, transit: _TransitPacket) -> None:
         packet_key = (transit.packet.flow_id, transit.packet.packet_id)
         next_hop = self._routing.next_hop(
             node, packet_key, self._rng.stream("routing")
         )
+        if (
+            self._faults is not None
+            and self._faults.is_crashed(next_hop)
+            and next_hop != self.config.deployment.sink
+        ):
+            backup = self._backups.get(node)
+            if backup is not None and not self._faults.is_crashed(backup):
+                self._trace(transit, "failover", node, detail=backup)
+                next_hop = backup
         transit.packet.header = transit.packet.header.forwarded(by_node=node)
         if self.config.record_transmissions:
             self._result.transmissions.append((self._sim.now, node, next_hop))
         self._trace(transit, "forwarded", node, detail=next_hop)
-        if not self._link.delivers():
-            # Lost on the air: the packet vanishes mid-path (no
-            # link-layer retransmission in this model).
-            self.lost_in_transit += 1
-            self._trace(transit, "lost", node)
+        if self._faults is None:
+            # Legacy path, bit-for-bit identical to the pre-fault
+            # simulator: one copy, constant delay, silent loss.
+            if not self._link.delivers():
+                # Lost on the air: the packet vanishes mid-path (no
+                # link-layer retransmission in this model).
+                self._record_unique_loss(node, transit)
+                return
+            self._sim.schedule_after(
+                self._link.transmission_delay(), self._handle_at_node, next_hop, transit
+            )
             return
-        self._sim.schedule_after(
-            self._link.transmission_delay(), self._handle_at_node, next_hop, transit
+        # The duplicate-filter key must be pinned *now*: the header (and
+        # its hop count) mutates as the accepted copy travels onward, so
+        # a late duplicate would otherwise dodge the filter.
+        dedup_key = (
+            transit.packet.flow_id,
+            transit.packet.packet_id,
+            transit.packet.header.hop_count,
         )
+        if self.config.faults.arq is not None:
+            self._start_arq_transfer(node, next_hop, transit, dedup_key)
+        else:
+            self._send_copies(node, next_hop, transit, dedup_key)
 
+    def _record_unique_loss(
+        self,
+        sender: int,
+        transit: _TransitPacket,
+        *,
+        blackholed: bool = False,
+        arq_failed: bool = False,
+    ) -> None:
+        """A unique packet (not a spare copy) vanished on the hop out of
+        ``sender``; attribute the loss location to the transmitter."""
+        self.lost_in_transit += 1
+        self._counters.lost_in_transit += 1
+        self._node_state(sender).stats.lost_in_transit += 1
+        if blackholed:
+            self._result.crash_blackholed += 1
+        if arq_failed:
+            self._result.arq_failed += 1
+        self._trace(transit, "lost", sender)
+
+    def _copy_delivers(self, sender: int) -> bool:
+        """One physical copy's survival: i.i.d. link loss *and* the
+        sender's Gilbert-Elliott chain must both spare it."""
+        return self._link.delivers() and self._faults.link_delivers(sender)
+
+    def _hop_delay(self) -> float:
+        return self._link.transmission_delay() + self._faults.sample_jitter()
+
+    # -- non-ARQ fault path --------------------------------------------
+    def _send_copies(
+        self,
+        sender: int,
+        receiver: int,
+        transit: _TransitPacket,
+        dedup_key: tuple[int, int, int],
+    ) -> None:
+        n_copies = 2 if self._faults.duplicates() else 1
+        delays = []
+        for _ in range(n_copies):
+            if self._copy_delivers(sender):
+                delays.append(self._hop_delay())
+        if not delays:
+            self._record_unique_loss(sender, transit)
+            return
+        copyset = _CopySet(sender=sender, remaining=len(delays), dedup_key=dedup_key)
+        for delay in delays:
+            self._sim.schedule_after(
+                delay, self._on_copy_arrival, copyset, receiver, transit
+            )
+
+    def _on_copy_arrival(
+        self, copyset: _CopySet, receiver: int, transit: _TransitPacket
+    ) -> None:
+        copyset.remaining -= 1
+        if self._faults.is_crashed(receiver):
+            if not copyset.accepted and copyset.remaining == 0:
+                self._record_unique_loss(copyset.sender, transit, blackholed=True)
+            return
+        if not self._accept_at(receiver, transit, copyset.dedup_key):
+            return
+        copyset.accepted = True
+        self._handle_at_node(receiver, transit)
+
+    def _accept_at(
+        self,
+        receiver: int,
+        transit: _TransitPacket,
+        key: tuple[int, int, int],
+    ) -> bool:
+        """Duplicate filter: True if this copy is the first the (live)
+        receiver hears for this (packet, hop)."""
+        seen = self._seen.setdefault(receiver, set())
+        if key in seen:
+            self._counters.extra_copies_arrived += 1
+            self._counters.duplicates_suppressed += 1
+            self._result.duplicates_suppressed += 1
+            self._trace(transit, "duplicate", receiver)
+            return False
+        seen.add(key)
+        return True
+
+    # -- ARQ fault path ------------------------------------------------
+    def _start_arq_transfer(
+        self,
+        sender: int,
+        receiver: int,
+        transit: _TransitPacket,
+        dedup_key: tuple[int, int, int],
+    ) -> None:
+        spec = self.config.faults.arq
+        transfer = ArqTransfer(
+            transfer_id=next(self._transfer_ids),
+            sender=sender,
+            receiver=receiver,
+            payload=transit,
+            dedup_key=dedup_key,
+        )
+        transfer.timer = BackoffTimer(
+            self._sim, base_timeout=spec.timeout, backoff=spec.backoff
+        )
+        self._transfers[transfer.transfer_id] = transfer
+        self._send_arq_copy(transfer)
+
+    def _send_arq_copy(self, transfer: ArqTransfer) -> None:
+        """One (re)transmission attempt: data copy + timeout timer."""
+        n_copies = 2 if self._faults.duplicates() else 1
+        for _ in range(n_copies):
+            if self._copy_delivers(transfer.sender):
+                transfer.copies_in_flight += 1
+                self._sim.schedule_after(
+                    self._hop_delay(), self._on_arq_data, transfer
+                )
+        transfer.timer.start(self._on_arq_timeout, transfer)
+
+    def _on_arq_data(self, transfer: ArqTransfer) -> None:
+        transfer.copies_in_flight -= 1
+        receiver = transfer.receiver
+        if self._faults.is_crashed(receiver):
+            # The copy dies silently; no ACK, the sender will retry --
+            # unless the transfer was already abandoned and this was
+            # its last hope, in which case the deferred loss lands now.
+            if (
+                transfer.abandoned
+                and not transfer.received
+                and transfer.copies_in_flight == 0
+            ):
+                self._record_unique_loss(
+                    transfer.sender, transfer.payload, blackholed=True
+                )
+            return
+        transit: _TransitPacket = transfer.payload
+        if self._accept_at(receiver, transit, transfer.dedup_key):
+            transfer.received = True
+            self._handle_at_node(receiver, transit)
+        # ACK every copy heard -- a duplicate means the previous ACK
+        # was lost.  The ACK rides the receiver's own radio, so it
+        # faces that link's loss process.
+        if self._copy_delivers(receiver):
+            self._sim.schedule_after(self._hop_delay(), self._on_arq_ack, transfer)
+
+    def _on_arq_ack(self, transfer: ArqTransfer) -> None:
+        if transfer.settled:
+            return
+        if self._faults.is_crashed(transfer.sender):
+            return  # the crash already aborted this transfer's timer
+        transfer.acked = True
+        transfer.timer.cancel()
+        del self._transfers[transfer.transfer_id]
+
+    def _on_arq_timeout(self, transfer: ArqTransfer) -> None:
+        if transfer.settled:
+            return
+        spec = self.config.faults.arq
+        if transfer.attempt >= spec.max_retries:
+            transfer.abandoned = True
+            del self._transfers[transfer.transfer_id]
+            if not transfer.received and transfer.copies_in_flight == 0:
+                # Genuinely gone.  (If it *was* received -- every ACK
+                # lost -- the packet lives on downstream and nothing
+                # is lost but the sender's patience.  If a copy is
+                # still in the air, the last arrival renders the
+                # verdict instead.)
+                self._record_unique_loss(
+                    transfer.sender, transfer.payload, arq_failed=True
+                )
+            return
+        transfer.attempt += 1
+        transfer.retransmit_times.append(self._sim.now)
+        self._result.retransmissions.append(
+            (self._sim.now, transfer.sender, transfer.receiver)
+        )
+        self._node_state(transfer.sender).stats.retransmissions += 1
+        self._trace(transfer.payload, "retransmit", transfer.sender,
+                    detail=transfer.receiver)
+        self._send_arq_copy(transfer)
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+    def _on_crash(self, node: int) -> None:
+        self._faults.mark_crashed(node)
+        state = self._nodes.get(node)
+        if state is not None:
+            # Freeze the buffer: pending releases are cancelled, the
+            # entries stay put until recovery (or strand forever).
+            for entry in state.buffer.entries():
+                if entry.context is not None and entry.context.pending:
+                    entry.context.cancel()
+        # Abort this node's outstanding ARQ transfers as a sender: a
+        # dead radio can neither retransmit nor hear ACKs.
+        for transfer in [
+            t for t in self._transfers.values() if t.sender == node
+        ]:
+            transfer.abandoned = True
+            transfer.timer.cancel()
+            del self._transfers[transfer.transfer_id]
+            if not transfer.received and transfer.copies_in_flight == 0:
+                # A copy already on the air outlives its sender's
+                # crash; the last arrival renders the verdict.
+                self._record_unique_loss(node, transfer.payload)
+
+    def _on_recover(self, node: int) -> None:
+        self._faults.mark_recovered(node)
+        state = self._nodes.get(node)
+        if state is None:
+            return
+        now = self._sim.now
+        for entry in state.buffer.entries():
+            if entry.context is None or not entry.context.pending:
+                # Overdue releases fire immediately on recovery; the
+                # rest resume their original schedule.
+                entry.context = self._sim.schedule(
+                    max(entry.release_time, now),
+                    self._on_release,
+                    node,
+                    entry.entry_id,
+                )
+
+    # ------------------------------------------------------------------
     def _deliver(self, transit: _TransitPacket) -> None:
         now = self._sim.now
         packet = transit.packet
@@ -304,6 +611,7 @@ class SensorNetworkSimulator:
                     "payload timestamp does not match simulator ground truth "
                     f"for flow {packet.flow_id} packet {packet.packet_id}"
                 )
+        self._counters.delivered += 1
         self._trace(transit, "delivered", self.config.deployment.sink)
         self._result.observations.append(packet.observe(arrival_time=now))
         self._result.records.append(
@@ -328,6 +636,13 @@ class SensorNetworkSimulator:
             state.stats.observation_time = end
             state.stats.peak_occupancy = state.buffer.peak_occupancy
             self._result.node_stats[node] = state.stats
+            if state.buffer.occupancy > 0:
+                self._counters.stranded_in_buffer += state.buffer.occupancy
+                self._counters.stranding_nodes.add(node)
         self._result.lost_in_transit = self.lost_in_transit
+        self._result.stranded_in_buffer = self._counters.stranded_in_buffer
         self._result.end_time = end
         self._result.events_processed = self._sim.events_processed
+        if self.config.faults is not None:
+            self._counters.crash_nodes = self.config.faults.crash_nodes()
+        InvariantAuditor(self._counters).audit(self._result)

@@ -14,7 +14,14 @@ appends one :class:`TraceEvent` per lifecycle step to a
   release time it would have had);
 * ``dropped`` -- rejected by a full drop-tail buffer;
 * ``forwarded`` -- transmitted toward the next hop (detail = receiver);
-* ``lost`` -- transmission lost on the air (lossy links);
+* ``lost`` -- transmission lost on the air (lossy links), swallowed by
+  a crashed receiver, or abandoned after ARQ retry exhaustion;
+* ``retransmit`` -- ARQ retransmission of an unacknowledged copy
+  (detail = receiver);
+* ``duplicate`` -- an extra physical copy suppressed by the receiving
+  node's duplicate filter;
+* ``failover`` -- rerouted around a crashed primary parent (detail =
+  the backup parent used);
 * ``delivered`` -- handed to the sink.
 
 Traces are ground truth (the simulator's god view); they are never
@@ -35,6 +42,9 @@ EVENT_KINDS = (
     "dropped",
     "forwarded",
     "lost",
+    "retransmit",
+    "duplicate",
+    "failover",
     "delivered",
 )
 

@@ -108,3 +108,20 @@ class TestCommands:
         ])
         assert base.exists()
         assert (tmp_path / "fig2.csv.latency.csv").exists()
+
+
+class TestChaosCommand:
+    def test_chaos_small(self, capsys):
+        assert main([
+            "chaos", "--packets", "40", "--seed", "2",
+            "--intensities", "0,1", "--no-arq",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chaos sweep" in out
+        assert "drop-tail" in out and "rcad" in out
+
+    def test_invalid_intensities_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--intensities", "0,2"])
+        with pytest.raises(SystemExit):
+            main(["chaos", "--intensities", "nope"])

@@ -1,0 +1,123 @@
+"""Unit tests for the DES timer utilities (BackoffTimer, PeriodicTimer)."""
+
+import pytest
+
+from repro.des.engine import Simulator
+from repro.des.timers import BackoffTimer, PeriodicTimer
+
+
+class TestBackoffTimer:
+    def test_fires_at_base_timeout(self):
+        sim = Simulator()
+        fired = []
+        timer = BackoffTimer(sim, base_timeout=3.0)
+        timer.start(fired.append, "hello")
+        sim.run()
+        assert fired == ["hello"]
+        assert sim.now == 3.0
+
+    def test_timeout_grows_by_backoff_factor(self):
+        sim = Simulator()
+        timer = BackoffTimer(sim, base_timeout=2.0, backoff=2.0)
+        assert timer.next_timeout() == 2.0
+        timer.start(lambda: None)
+        assert timer.next_timeout() == 4.0
+        timer.start(lambda: None)
+        assert timer.next_timeout() == 8.0
+        assert timer.armings == 2
+
+    def test_restart_cancels_previous_arming(self):
+        sim = Simulator()
+        fired = []
+        timer = BackoffTimer(sim, base_timeout=5.0, backoff=1.0)
+        timer.start(fired.append, "first")
+        timer.start(fired.append, "second")
+        sim.run()
+        assert fired == ["second"]  # the first arming never fires
+
+    def test_cancel_prevents_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = BackoffTimer(sim, base_timeout=1.0)
+        timer.start(fired.append, "x")
+        assert timer.pending
+        assert timer.cancel() is True
+        assert not timer.pending
+        assert timer.cancel() is False  # nothing left to cancel
+        sim.run()
+        assert fired == []
+
+    def test_reset_restores_backoff_history(self):
+        sim = Simulator()
+        timer = BackoffTimer(sim, base_timeout=1.0, backoff=3.0)
+        timer.start(lambda: None)
+        timer.start(lambda: None)
+        assert timer.next_timeout() == 9.0
+        timer.reset()
+        assert timer.armings == 0
+        assert timer.next_timeout() == 1.0
+        assert not timer.pending
+
+    def test_not_pending_after_fire(self):
+        sim = Simulator()
+        timer = BackoffTimer(sim, base_timeout=1.0)
+        timer.start(lambda: None)
+        sim.run()
+        assert not timer.pending
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            BackoffTimer(sim, base_timeout=0.0)
+        with pytest.raises(ValueError):
+            BackoffTimer(sim, base_timeout=-1.0)
+        with pytest.raises(ValueError):
+            BackoffTimer(sim, base_timeout=1.0, backoff=0.5)
+
+
+class TestPeriodicTimer:
+    def test_fires_every_interval(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 2.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run_until(7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+        assert timer.fired == 3
+
+    def test_stop_cancels_future_firings(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        timer.start()
+        sim.run_until(2.5)
+        timer.stop()
+        sim.run_until(10.0)
+        assert timer.fired == 2
+        assert not timer.running
+
+    def test_stop_from_inside_callback(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, 1.0, lambda: timer.stop())
+        timer.start()
+        sim.run()
+        assert timer.fired == 1
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        timer.start()
+        timer.start()  # no double-scheduling
+        sim.run_until(1.5)
+        assert timer.fired == 1
+
+    def test_passes_args_to_callback(self):
+        sim = Simulator()
+        seen = []
+        timer = PeriodicTimer(sim, 1.0, seen.append, "tick")
+        timer.start()
+        sim.run_until(2.5)
+        assert seen == ["tick", "tick"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicTimer(Simulator(), 0.0, lambda: None)

@@ -16,6 +16,8 @@ import repro.crypto.modes
 import repro.crypto.speck
 import repro.des.engine
 import repro.des.rng
+import repro.des.timers
+import repro.faults.gilbert_elliott
 import repro.queueing.erlang
 import repro.queueing.mminf
 import repro.queueing.mmkk
@@ -27,6 +29,8 @@ import repro.sim.simulator
 MODULES = [
     repro.des.engine,
     repro.des.rng,
+    repro.des.timers,
+    repro.faults.gilbert_elliott,
     repro.crypto.speck,
     repro.crypto.modes,
     repro.crypto.mac,

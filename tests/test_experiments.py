@@ -226,3 +226,72 @@ class TestAblations:
         assert fast.droptail_drop_fraction > 0.2
         slow = rows[1]
         assert slow.droptail_drop_fraction < fast.droptail_drop_fraction
+
+
+class TestChaosSweep:
+    def test_plan_intensity_validated(self):
+        from repro.experiments.chaos import chaos_plan
+        from repro.sim.config import SimulationConfig
+
+        config = SimulationConfig.paper_baseline(interarrival=4.0, case="rcad")
+        with pytest.raises(ValueError):
+            chaos_plan(1.5, config)
+
+    def test_zero_intensity_means_no_plan(self):
+        from repro.experiments.chaos import chaos_plan
+        from repro.sim.config import SimulationConfig
+
+        config = SimulationConfig.paper_baseline(interarrival=4.0, case="rcad")
+        assert chaos_plan(0.0, config) is None
+
+    def test_crash_window_appears_above_threshold(self):
+        from repro.experiments.chaos import CRASH_INTENSITY_THRESHOLD, chaos_plan
+        from repro.sim.config import SimulationConfig
+
+        config = SimulationConfig.paper_baseline(interarrival=4.0, case="rcad")
+        below = chaos_plan(CRASH_INTENSITY_THRESHOLD / 2, config)
+        above = chaos_plan(CRASH_INTENSITY_THRESHOLD, config)
+        assert not below.crashes
+        assert above.crashes
+        assert above.crashes[0].node == config.tree.parent[config.flows[0].source]
+
+    def test_arq_flag_toggles_arq_spec(self):
+        from repro.experiments.chaos import chaos_plan
+        from repro.sim.config import SimulationConfig
+
+        config = SimulationConfig.paper_baseline(interarrival=4.0, case="rcad")
+        assert chaos_plan(0.5, config, arq=False).arq is None
+        assert chaos_plan(0.5, config, arq=True).arq is not None
+
+    def test_small_sweep_shape_and_degradation(self):
+        from repro.experiments.chaos import chaos_sweep, render_chaos_rows
+
+        rows = chaos_sweep(
+            intensities=(0.0, 1.0),
+            disciplines=("rcad",),
+            arq_modes=(False,),
+            n_packets=60,
+            seed=3,
+        )
+        assert [row.intensity for row in rows] == [0.0, 1.0]
+        clean, faulty = rows
+        assert clean.delivered_fraction == pytest.approx(1.0)
+        assert clean.retransmissions == 0 and clean.lost_in_transit == 0
+        assert faulty.delivered_fraction < clean.delivered_fraction
+        assert faulty.lost_in_transit > 0
+        text = render_chaos_rows(rows)
+        assert "rcad" in text and "eps" in text
+
+    def test_arq_restores_delivery_at_a_retx_cost(self):
+        from repro.experiments.chaos import chaos_sweep
+
+        rows = chaos_sweep(
+            intensities=(1.0,),
+            disciplines=("rcad",),
+            arq_modes=(False, True),
+            n_packets=60,
+            seed=3,
+        )
+        bare, arq = rows
+        assert arq.delivered_fraction > bare.delivered_fraction
+        assert arq.retransmissions > 0

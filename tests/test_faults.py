@@ -1,0 +1,229 @@
+"""Unit tests for the fault-injection layer: plans, GE channel, injector."""
+
+import numpy as np
+import pytest
+
+from repro.des.rng import RngRegistry
+from repro.faults import (
+    ArqSpec,
+    BurstyLossSpec,
+    CrashWindow,
+    DuplicationSpec,
+    FaultInjector,
+    FaultPlan,
+    GilbertElliottChannel,
+    JitterSpec,
+)
+
+
+def _rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+class TestSpecs:
+    def test_bursty_loss_probability_bounds(self):
+        with pytest.raises(ValueError):
+            BurstyLossSpec(p_good_to_bad=1.5, p_bad_to_good=0.2, loss_bad=0.5)
+        with pytest.raises(ValueError):
+            BurstyLossSpec(p_good_to_bad=0.1, p_bad_to_good=-0.1, loss_bad=0.5)
+        with pytest.raises(ValueError):
+            BurstyLossSpec(p_good_to_bad=0.1, p_bad_to_good=0.2, loss_bad=2.0)
+
+    def test_absorbing_lossless_bad_state_rejected(self):
+        # The chain would wedge in a "bad" state that never drops
+        # anything: a spec that can never act is a configuration bug.
+        with pytest.raises(ValueError):
+            BurstyLossSpec(p_good_to_bad=0.1, p_bad_to_good=0.0, loss_bad=0.0)
+
+    def test_bursty_loss_noop(self):
+        assert BurstyLossSpec(0.0, 0.5, loss_bad=0.9).is_noop
+        assert BurstyLossSpec(0.5, 0.5, loss_bad=0.0).is_noop
+        assert not BurstyLossSpec(0.5, 0.5, loss_bad=0.9).is_noop
+        assert not BurstyLossSpec(0.0, 0.5, loss_bad=0.0, loss_good=0.1).is_noop
+
+    def test_jitter_validation_and_noop(self):
+        with pytest.raises(ValueError):
+            JitterSpec(amplitude=-0.5)
+        assert JitterSpec(amplitude=0.0).is_noop
+        assert not JitterSpec(amplitude=0.3).is_noop
+
+    def test_duplication_validation_and_noop(self):
+        with pytest.raises(ValueError):
+            DuplicationSpec(probability=1.2)
+        assert DuplicationSpec(probability=0.0).is_noop
+        assert not DuplicationSpec(probability=0.1).is_noop
+
+    def test_crash_window_validation(self):
+        with pytest.raises(ValueError):
+            CrashWindow(node=5, start=-1.0, end=10.0)
+        with pytest.raises(ValueError):
+            CrashWindow(node=5, start=10.0, end=10.0)
+        with pytest.raises(ValueError):
+            CrashWindow(node=5, start=10.0, end=5.0)
+
+    def test_crash_window_covers(self):
+        window = CrashWindow(node=5, start=10.0, end=20.0)
+        assert not window.covers(9.99)
+        assert window.covers(10.0)
+        assert window.covers(19.99)
+        assert not window.covers(20.0)
+
+    def test_crash_window_defaults_to_never_recovering(self):
+        window = CrashWindow(node=5, start=10.0)
+        assert window.covers(1e12)
+
+    def test_arq_spec_backoff_schedule(self):
+        spec = ArqSpec(timeout=2.0, max_retries=3, backoff=2.0)
+        assert spec.timeout_for(0) == 2.0
+        assert spec.timeout_for(2) == 8.0
+        assert spec.total_attempts() == 4
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_noop(self):
+        assert FaultPlan().is_noop
+
+    def test_zeroed_specs_are_noop(self):
+        plan = FaultPlan(
+            bursty_loss=BurstyLossSpec(0.0, 0.5, loss_bad=0.9),
+            jitter=JitterSpec(0.0),
+            duplication=DuplicationSpec(0.0),
+        )
+        assert plan.is_noop
+
+    def test_any_active_family_defeats_noop(self):
+        assert not FaultPlan(jitter=JitterSpec(0.1)).is_noop
+        assert not FaultPlan(crashes=(CrashWindow(node=3, start=1.0),)).is_noop
+        assert not FaultPlan(arq=ArqSpec()).is_noop
+
+    def test_crashes_coerced_to_tuple(self):
+        plan = FaultPlan(crashes=[CrashWindow(node=3, start=1.0, end=2.0)])
+        assert isinstance(plan.crashes, tuple)
+
+    def test_overlapping_windows_same_node_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(
+                crashes=(
+                    CrashWindow(node=3, start=0.0, end=10.0),
+                    CrashWindow(node=3, start=5.0, end=15.0),
+                )
+            )
+
+    def test_disjoint_windows_allowed(self):
+        plan = FaultPlan(
+            crashes=(
+                CrashWindow(node=3, start=0.0, end=10.0),
+                CrashWindow(node=3, start=10.0, end=15.0),
+                CrashWindow(node=4, start=5.0, end=12.0),
+            )
+        )
+        assert plan.crash_nodes() == {3, 4}
+
+    def test_describe_mentions_active_families(self):
+        assert FaultPlan().describe() == "no faults"
+        text = FaultPlan(
+            jitter=JitterSpec(0.5), arq=ArqSpec(timeout=4.0)
+        ).describe()
+        assert "jitter" in text and "ARQ" in text
+
+
+class TestGilbertElliottChannel:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(1.5, 0.5, 0.0, 0.9, _rng())
+
+    def test_steady_state_loss_formula(self):
+        chan = GilbertElliottChannel(0.1, 0.3, 0.02, 0.8, _rng())
+        pi_bad = 0.1 / 0.4
+        assert chan.steady_state_loss() == pytest.approx(
+            (1 - pi_bad) * 0.02 + pi_bad * 0.8
+        )
+
+    def test_long_run_loss_matches_steady_state(self):
+        chan = GilbertElliottChannel(0.05, 0.25, 0.0, 0.6, _rng(3))
+        n = 60_000
+        lost = sum(not chan.delivers() for _ in range(n))
+        assert lost / n == pytest.approx(chan.steady_state_loss(), abs=0.01)
+
+    def test_losses_are_bursty(self):
+        """Losses cluster: P(loss | previous loss) >> marginal loss rate."""
+        chan = GilbertElliottChannel(0.02, 0.2, 0.0, 1.0, _rng(5))
+        outcomes = [chan.delivers() for _ in range(40_000)]
+        losses = sum(not ok for ok in outcomes)
+        repeats = sum(
+            1
+            for prev, cur in zip(outcomes, outcomes[1:])
+            if not prev and not cur
+        )
+        conditional = repeats / losses
+        marginal = losses / len(outcomes)
+        assert conditional > 3 * marginal
+
+    def test_mean_burst_length(self):
+        assert GilbertElliottChannel(0.1, 0.25, 0.0, 1.0, _rng()).mean_burst_length() == 4.0
+        assert GilbertElliottChannel(0.1, 0.0, 0.0, 1.0, _rng()).mean_burst_length() == float("inf")
+
+    def test_never_leaves_good_state_when_p_gb_zero(self):
+        chan = GilbertElliottChannel(0.0, 0.5, 0.0, 1.0, _rng())
+        assert all(chan.delivers() for _ in range(1000))
+        assert chan.transitions_to_bad == 0
+        assert chan.steady_state_loss() == 0.0
+
+
+class TestFaultInjector:
+    def _plan(self):
+        return FaultPlan(
+            bursty_loss=BurstyLossSpec(0.1, 0.3, loss_bad=0.7),
+            jitter=JitterSpec(0.5),
+            duplication=DuplicationSpec(0.2),
+        )
+
+    def test_channels_cached_per_sender(self):
+        injector = FaultInjector(self._plan(), RngRegistry(seed=1))
+        assert injector.channel_for(3) is injector.channel_for(3)
+        assert injector.channel_for(3) is not injector.channel_for(4)
+
+    def test_noop_families_sample_nothing(self):
+        injector = FaultInjector(FaultPlan(), RngRegistry(seed=1))
+        assert injector.channel_for(3) is None
+        assert injector.link_delivers(3) is True
+        assert injector.sample_jitter() == 0.0
+        assert injector.duplicates() is False
+
+    def test_reproducible_across_instances(self):
+        a = FaultInjector(self._plan(), RngRegistry(seed=7))
+        b = FaultInjector(self._plan(), RngRegistry(seed=7))
+        assert [a.link_delivers(2) for _ in range(200)] == [
+            b.link_delivers(2) for _ in range(200)
+        ]
+        assert [a.sample_jitter() for _ in range(50)] == [
+            b.sample_jitter() for _ in range(50)
+        ]
+        assert [a.duplicates() for _ in range(50)] == [
+            b.duplicates() for _ in range(50)
+        ]
+
+    def test_senders_draw_independent_streams(self):
+        injector = FaultInjector(self._plan(), RngRegistry(seed=7))
+        a = [injector.link_delivers(2) for _ in range(200)]
+        b = [injector.link_delivers(9) for _ in range(200)]
+        assert a != b
+
+    def test_jitter_bounded_by_amplitude(self):
+        injector = FaultInjector(self._plan(), RngRegistry(seed=2))
+        draws = [injector.sample_jitter() for _ in range(500)]
+        assert all(0.0 <= d < 0.5 for d in draws)
+
+    def test_loss_counter_tracks_failures(self):
+        injector = FaultInjector(self._plan(), RngRegistry(seed=4))
+        failures = sum(not injector.link_delivers(1) for _ in range(1000))
+        assert injector.link_losses == failures > 0
+
+    def test_crash_state_machine(self):
+        injector = FaultInjector(FaultPlan(), RngRegistry(seed=0))
+        assert not injector.is_crashed(5)
+        injector.mark_crashed(5)
+        assert injector.is_crashed(5)
+        assert injector.crashed_nodes == frozenset({5})
+        injector.mark_recovered(5)
+        assert not injector.is_crashed(5)

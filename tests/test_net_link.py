@@ -39,9 +39,14 @@ class TestLossyLink:
         link = LossyLink(delay=3.0, loss_probability=0.1, rng=self._rng())
         assert link.transmission_delay() == 3.0
 
+    def test_certain_loss_is_a_valid_endpoint(self):
+        """p = 1.0 is the crash-equivalent link: never delivers."""
+        link = LossyLink(delay=1.0, loss_probability=1.0, rng=self._rng())
+        assert not any(link.delivers() for _ in range(100))
+
     def test_invalid_probability_rejected(self):
         with pytest.raises(ValueError):
-            LossyLink(delay=1.0, loss_probability=1.0, rng=self._rng())
+            LossyLink(delay=1.0, loss_probability=1.01, rng=self._rng())
         with pytest.raises(ValueError):
             LossyLink(delay=1.0, loss_probability=-0.1, rng=self._rng())
 

@@ -4,7 +4,12 @@ import networkx as nx
 import numpy as np
 import pytest
 
-from repro.net.routing import RoutingTree, greedy_grid_tree, shortest_path_tree
+from repro.net.routing import (
+    RoutingTree,
+    backup_parents,
+    greedy_grid_tree,
+    shortest_path_tree,
+)
 from repro.net.topology import (
     PAPER_HOP_COUNTS,
     grid_deployment,
@@ -141,3 +146,44 @@ class TestGreedyGridTree:
         # Tie at (3, 3): steps in x -> parent (2, 3).
         node = 3 * 8 + 3
         assert tree.next_hop(node) == 3 * 8 + 2
+
+
+class TestBackupParents:
+    def test_line_topology_has_no_backups(self):
+        """On a line every node has exactly one downstream neighbor."""
+        deployment = line_deployment(hops=6)
+        tree = shortest_path_tree(deployment)
+        assert backup_parents(deployment, tree) == {}
+
+    def test_grid_interior_nodes_have_backups(self):
+        deployment = grid_deployment(width=5, height=5)
+        tree = greedy_grid_tree(deployment, width=5)
+        backups = backup_parents(deployment, tree)
+        assert backups  # a grid offers alternative descent directions
+        for node, backup in backups.items():
+            assert backup != tree.parent[node]
+
+    def test_backups_make_strict_progress(self):
+        """Every backup is strictly closer to the sink: rerouting through
+        backups can never loop."""
+        deployment = paper_topology()
+        tree = greedy_grid_tree(deployment, width=12)
+        backups = backup_parents(deployment, tree)
+        graph = deployment.connectivity_graph()
+        for node, backup in backups.items():
+            assert graph.has_edge(node, backup)
+            backup_depth = 0 if backup == tree.sink else tree.hop_count(backup)
+            assert backup_depth < tree.hop_count(node)
+
+    def test_deterministic_tie_break(self):
+        """Equal-depth candidates resolve to the smallest node id."""
+        deployment = grid_deployment(width=4, height=4)
+        tree = greedy_grid_tree(deployment, width=4)
+        assert backup_parents(deployment, tree) == backup_parents(deployment, tree)
+
+    def test_most_paper_nodes_are_protected(self):
+        """The Figure 1 grid leaves few single-points-of-failure."""
+        deployment = paper_topology()
+        tree = greedy_grid_tree(deployment, width=12)
+        backups = backup_parents(deployment, tree)
+        assert len(backups) / len(tree.parent) > 0.8

@@ -46,7 +46,13 @@ class TestLossySimulation:
 
         config = SimulationConfig.paper_baseline(interarrival=4.0, case="rcad")
         with pytest.raises(ValueError):
-            dataclasses.replace(config, link_loss_probability=1.0)
+            dataclasses.replace(config, link_loss_probability=1.5)
+
+    def test_certain_loss_delivers_nothing(self):
+        """The closed endpoint p = 1.0 is a crash-equivalent link."""
+        result = self._run(1.0, n_packets=30)
+        assert result.delivered_count() == 0
+        assert result.lost_in_transit == 4 * 30
 
 
 class TestLinkLossRobustness:

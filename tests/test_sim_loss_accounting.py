@@ -1,0 +1,97 @@
+"""Loss accounting: `lost_in_transit` books and occupancy-time integrals.
+
+Satellite coverage for the fault PR: the simulator's per-node loss
+ledger must partition the global loss count, and the occupancy-time
+integral (the queueing-theory workhorse behind the Section 4
+validations) must remain exact even when packets die on the air
+mid-path.
+"""
+
+import dataclasses
+from collections import defaultdict
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import SensorNetworkSimulator
+
+
+def _run(loss, n_packets=80, seed=13, **overrides):
+    config = SimulationConfig.paper_baseline(
+        interarrival=4.0, case="rcad", n_packets=n_packets, seed=seed
+    )
+    config = dataclasses.replace(
+        config, link_loss_probability=loss, **overrides
+    )
+    return config, SensorNetworkSimulator(config).run()
+
+
+class TestLostInTransitLedger:
+    def test_zero_loss_books_nothing(self):
+        _, result = _run(0.0)
+        assert result.lost_in_transit == 0
+        assert result.loss_by_node() == {}
+
+    def test_loss_by_node_partitions_the_total(self):
+        _, result = _run(0.08)
+        by_node = result.loss_by_node()
+        assert result.lost_in_transit > 0
+        assert sum(by_node.values()) == result.lost_in_transit
+        # The dict only names nodes that actually lost something.
+        assert all(count > 0 for count in by_node.values())
+
+    def test_losing_nodes_lie_on_flow_paths(self):
+        config, result = _run(0.08)
+        sources = [flow.source for flow in config.flows]
+        on_flows = config.tree.nodes_on_flows(sources)
+        assert set(result.loss_by_node()) <= on_flows
+
+    def test_global_conservation_under_loss(self):
+        config, result = _run(0.08)
+        created = sum(flow.n_packets for flow in config.flows)
+        assert (
+            result.delivered_count() + result.drop_count() + result.lost_in_transit
+            == created
+        )
+
+    def test_node_stats_mirror_loss_by_node(self):
+        _, result = _run(0.08)
+        for node, count in result.loss_by_node().items():
+            assert result.node_stats[node].lost_in_transit == count
+
+
+class TestOccupancyIntegralUnderLoss:
+    def test_integral_equals_summed_buffering_delays(self):
+        """Per node: integral of occupancy over time == sum of the
+        realized buffering delays of every packet that visited it,
+        including packets later lost on the air."""
+        _, result = _run(0.08, record_packet_traces=True)
+        realized = defaultdict(float)
+        for trace in result.packet_traces.values():
+            for node, delay in trace.buffering_delays():
+                realized[node] += delay
+        for node, stats in result.node_stats.items():
+            assert stats.occupancy_time_integral == pytest.approx(
+                realized.get(node, 0.0), abs=1e-6
+            )
+
+    def test_mean_occupancy_consistent_with_integral(self):
+        _, result = _run(0.08)
+        for stats in result.node_stats.values():
+            if stats.observation_time > 0:
+                assert stats.mean_occupancy == pytest.approx(
+                    stats.occupancy_time_integral / stats.observation_time
+                )
+
+    def test_loss_starves_downstream_occupancy(self):
+        """Heavy loss thins traffic along the path, so the trunk near
+        the sink accumulates measurably less occupancy-time."""
+        config, lossless = _run(0.0)
+        _, lossy = _run(0.25)
+        # Compare at the last hop before the sink of flow 1's path.
+        path = config.tree.path(config.flows[0].source)
+        last_relay = path[-2]
+        assert (
+            lossy.node_stats[last_relay].occupancy_time_integral
+            < lossless.node_stats[last_relay].occupancy_time_integral
+        )
