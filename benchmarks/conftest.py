@@ -19,6 +19,7 @@ Run with::
 
 from __future__ import annotations
 
+import json
 import pathlib
 import re
 
@@ -26,6 +27,7 @@ import pytest
 
 _ARTIFACTS: list[tuple[str, str]] = []
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_TIMINGS: dict[str, float] = {}
 
 
 def emit(name: str, text: str) -> None:
@@ -45,6 +47,46 @@ def emit(name: str, text: str) -> None:
 def full_scale():
     """Paper-scale parameters shared by the figure benches."""
     return {"n_packets": 1000, "seed": 0}
+
+
+def pytest_runtest_logreport(report):
+    """Collect per-test call durations for the runtime timing JSON."""
+    if report.when == "call" and report.passed:
+        _TIMINGS[report.nodeid] = report.duration
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``results/BENCH_runtime.json``: wall-clock per benchmark.
+
+    Includes pytest-benchmark statistics (min/mean/stddev/rounds) when
+    the plugin collected any, alongside the coarse call durations, so
+    serial-vs-parallel and vectorized-vs-scalar comparisons live in one
+    machine-readable artifact.
+    """
+    if not _TIMINGS:
+        return
+    payload: dict[str, object] = {
+        "call_durations_seconds": dict(sorted(_TIMINGS.items())),
+    }
+    benchsession = getattr(session.config, "_benchmarksession", None)
+    if benchsession is not None and getattr(benchsession, "benchmarks", None):
+        stats = {}
+        for bench in benchsession.benchmarks:
+            try:
+                stats[bench.fullname] = {
+                    "min": bench.stats.min,
+                    "mean": bench.stats.mean,
+                    "stddev": bench.stats.stddev,
+                    "rounds": bench.stats.rounds,
+                }
+            except (AttributeError, TypeError):
+                continue  # plugin disabled or stats not collected
+        if stats:
+            payload["benchmark_stats"] = stats
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / "BENCH_runtime.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 def pytest_terminal_summary(terminalreporter):

@@ -3,16 +3,22 @@
 These are genuine pytest-benchmark measurements (many iterations) for
 the inner loops everything else is built on: the DES event loop, RCAD
 buffer admissions, the Speck block cipher, the Erlang-B recursion and
-the KSG mutual-information estimator.
+the KSG mutual-information estimator -- plus vectorized-vs-scalar
+pairs for the adversary scoring kernels, so the speedup of the numpy
+batch paths (and their exact agreement with the scalar oracle) is
+measured where the optimization lives.
 """
 
 import numpy as np
+import pytest
 
 from repro.core.buffers import RcadBuffer
 from repro.crypto.speck import Speck64_128
 from repro.des import Simulator
+from repro.experiments.common import build_adversary, run_paper_case
 from repro.infotheory.estimators import ksg_mutual_information
 from repro.queueing.erlang import erlang_b
+from repro.runtime import kernels
 
 
 def test_des_event_throughput(benchmark):
@@ -80,3 +86,45 @@ def test_ksg_estimator_throughput(benchmark):
 
     mi = benchmark(ksg_mutual_information, x, z)
     assert mi > 0.2
+
+
+# ----------------------------------------------------------------------
+# Vectorized vs scalar adversary scoring.  One RCAD observation stream
+# is scored through the numpy batch path and the preserved scalar
+# oracle; BENCH_runtime.json records both timings side by side.
+
+@pytest.fixture(scope="module")
+def rcad_observations():
+    result = run_paper_case(2.0, "rcad", n_packets=500, seed=0)
+    return result.observations
+
+
+@pytest.mark.parametrize("kind", ["naive", "baseline", "adaptive"])
+def test_adversary_estimate_all_vectorized(benchmark, rcad_observations, kind):
+    adversary = build_adversary(kind, "rcad")
+
+    def run():
+        adversary.reset()
+        return adversary.estimate_all(rcad_observations)
+
+    estimates = benchmark(run)
+    assert len(estimates) == len(rcad_observations)
+
+
+@pytest.mark.parametrize("kind", ["naive", "baseline", "adaptive"])
+def test_adversary_estimate_all_scalar(benchmark, rcad_observations, kind):
+    adversary = build_adversary(kind, "rcad")
+
+    def run():
+        adversary.reset()
+        return adversary.estimate_all_scalar(rcad_observations)
+
+    estimates = benchmark(run)
+    assert len(estimates) == len(rcad_observations)
+
+
+def test_erlang_b_batch_vectorized(benchmark):
+    loads = np.linspace(0.1, 50.0, 200)
+
+    total = benchmark(lambda: float(kernels.erlang_b_batch(loads, 10).sum()))
+    assert 0.0 < total < 200.0

@@ -1,29 +1,49 @@
-"""Parameter sweeps and seed replication."""
+"""Parameter sweeps and seed replication.
+
+Both entry points route through the ambient
+:class:`~repro.runtime.executors.Executor`, so ``use_runtime(jobs=N)``
+parallelizes every experiment driver without per-driver changes.  The
+executor contract is an order-preserving map over independent items;
+simulations derive all randomness from their configuration's seed via
+named RNG streams, so results are identical under any worker count.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Sequence, TypeVar
 
 from repro.analysis.stats import SummaryStats, summarize
+from repro.runtime.context import current_runtime
 
-__all__ = ["sweep", "replicate"]
+__all__ = ["sweep", "replicate", "ReplicationError"]
 
 T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ReplicationError(RuntimeError):
+    """One replication failed; carries the offending seed."""
+
+    def __init__(self, seed: int, cause: BaseException) -> None:
+        super().__init__(
+            f"replication with seed {seed} failed: {cause!r}"
+        )
+        self.seed = seed
 
 
 def sweep(
-    parameter_values: Sequence[float],
-    run_one: Callable[[float], T],
-) -> list[T]:
+    parameter_values: Sequence[T],
+    run_one: Callable[[T], R],
+) -> list[R]:
     """Evaluate ``run_one`` at every swept parameter value, in order.
 
     Thin but load-bearing: every experiment driver funnels its sweep
-    through here, so instrumentation (progress, caching) has a single
-    seam.
+    through here, so the active runtime's executor (serial or process
+    pool) and result cache apply to all of them at once.
     """
     if not parameter_values:
         raise ValueError("sweep needs at least one parameter value")
-    return [run_one(value) for value in parameter_values]
+    return current_runtime().executor.map(run_one, list(parameter_values))
 
 
 def replicate(
@@ -36,8 +56,18 @@ def replicate(
 
     Seeds are ``base_seed, base_seed + 1, ...`` so replication sets are
     reproducible and disjoint across experiments using different bases.
+    A failing replication raises :class:`ReplicationError` naming the
+    seed, so the offending run can be reproduced in isolation.
     """
     if n_replications < 1:
         raise ValueError(f"need at least 1 replication, got {n_replications}")
-    values = [run_one(base_seed + i) for i in range(n_replications)]
+
+    def run_guarded(seed: int) -> float:
+        try:
+            return run_one(seed)
+        except Exception as exc:
+            raise ReplicationError(seed, exc) from exc
+
+    seeds = [base_seed + i for i in range(n_replications)]
+    values = current_runtime().executor.map(run_guarded, seeds)
     return summarize(values, confidence=confidence)

@@ -16,6 +16,11 @@ code.  Commands:
 Common options: ``--packets`` (default 1000, the paper's size; use a
 smaller value for a fast look), ``--seed``, and for ``fig2``/``fig3``
 ``--interarrivals`` as comma-separated values.
+
+Simulation commands also accept the runtime options ``--jobs N``
+(process-pool parallelism; results are bit-identical to serial),
+``--cache-dir PATH`` and ``--no-cache`` (the on-disk result cache is
+on by default; a cache-stats line is printed after the command).
 """
 
 from __future__ import annotations
@@ -25,6 +30,27 @@ import sys
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
+
+
+#: commands that run simulations and therefore take runtime options.
+_SIMULATION_COMMANDS = ("fig2", "fig3", "run", "chaos")
+
+
+def _add_runtime_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (default 1 = serial; "
+        "results are bit-identical at any N)",
+    )
+    sub.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache (neither read nor write)",
+    )
+    sub.add_argument(
+        "--cache-dir", type=str, default=None, metavar="PATH",
+        help="result cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/results)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
                 "--path-aware", action="store_true",
                 help="include the extension path-aware adversary series",
             )
+        _add_runtime_options(sub)
 
     run = commands.add_parser(
         "run", help="one simulation at one load, scored by one adversary"
@@ -87,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--packets", type=int, default=1000)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--flow", type=int, default=1, help="flow id to score (1..4)")
+    _add_runtime_options(run)
 
     chaos = commands.add_parser(
         "chaos",
@@ -110,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-arq", action="store_true",
         help="skip the ARQ-enabled half of the sweep",
     )
+    _add_runtime_options(chaos)
 
     for name, help_text in (
         ("theory", "Section 3 information-bound validations"),
@@ -279,9 +308,7 @@ def _cmd_queueing(fast: bool) -> None:
     print(tree_occupancy_validation(n_packets=n_packets).render())
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> None:
     if args.command == "fig1":
         _cmd_fig1()
     elif args.command == "fig2":
@@ -298,6 +325,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         _cmd_queueing(args.fast)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {args.command!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command not in _SIMULATION_COMMANDS:
+        _dispatch(args)
+        return 0
+
+    from repro.runtime import ResultCache, default_cache_dir, use_runtime
+
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be at least 1, got {args.jobs}")
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    with use_runtime(jobs=args.jobs, cache=cache):
+        _dispatch(args)
+    if cache is not None:
+        print(cache.stats.render())
     return 0
 
 

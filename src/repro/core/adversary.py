@@ -27,8 +27,11 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.net.packet import PacketObservation
 from repro.queueing.erlang import erlang_b
+from repro.runtime import kernels
 
 __all__ = [
     "FlowKnowledge",
@@ -90,7 +93,28 @@ class Adversary(abc.ABC):
         """Estimated creation time x_hat for one observed packet."""
 
     def estimate_all(self, observations: list[PacketObservation]) -> list[float]:
-        """Estimate a whole arrival sequence (must be in arrival order)."""
+        """Estimate a whole arrival sequence (must be in arrival order).
+
+        Dispatches to the adversary's numpy batch kernel
+        (:meth:`_estimate_batch`) when one exists; adversaries without
+        one fall back to the per-observation scalar loop.  Both paths
+        produce identical estimates -- :meth:`estimate_all_scalar` is
+        kept as the explicit oracle the equivalence tests compare
+        against.
+        """
+        if not observations:
+            return []
+        arrivals, hops, origins = kernels.observation_arrays(observations)
+        self._check_arrival_order(arrivals)
+        batch = self._estimate_batch(arrivals, hops, origins)
+        if batch is None:
+            return [self.estimate(observation) for observation in observations]
+        return batch.tolist()
+
+    def estimate_all_scalar(
+        self, observations: list[PacketObservation]
+    ) -> list[float]:
+        """The original per-observation loop (oracle for the batch path)."""
         previous = -float("inf")
         estimates = []
         for observation in observations:
@@ -102,6 +126,28 @@ class Adversary(abc.ABC):
             previous = observation.arrival_time
             estimates.append(self.estimate(observation))
         return estimates
+
+    @staticmethod
+    def _check_arrival_order(arrivals: np.ndarray) -> None:
+        if arrivals.size > 1:
+            steps = np.diff(arrivals)
+            if np.any(steps < 0):
+                offender = int(np.argmax(steps < 0))
+                raise ValueError(
+                    "observations must be supplied in arrival order; "
+                    f"{arrivals[offender + 1]:g} after {arrivals[offender]:g}"
+                )
+
+    def _estimate_batch(
+        self, arrivals: np.ndarray, hops: np.ndarray, origins: np.ndarray
+    ) -> np.ndarray | None:
+        """Batch estimates for a validated arrival sequence, or None.
+
+        Subclasses with a vectorized kernel override this; returning
+        None selects the scalar fallback.  Stateful adversaries must
+        leave themselves in the same state the scalar loop would.
+        """
+        return None
 
     def reset(self) -> None:
         """Forget accumulated observation state (no-op by default)."""
@@ -119,6 +165,11 @@ class NaiveAdversary(Adversary):
             observation.hop_count * self.knowledge.transmission_delay
         )
 
+    def _estimate_batch(self, arrivals, hops, origins):
+        return kernels.naive_estimates(
+            arrivals, hops, self.knowledge.transmission_delay
+        )
+
 
 class BaselineAdversary(Adversary):
     """x_hat = z - h * (tau + 1/mu): knows the delay distributions.
@@ -134,6 +185,14 @@ class BaselineAdversary(Adversary):
             self.knowledge.transmission_delay + self.knowledge.mean_delay_per_hop
         )
         return observation.arrival_time - observation.hop_count * per_hop
+
+    def _estimate_batch(self, arrivals, hops, origins):
+        return kernels.baseline_estimates(
+            arrivals,
+            hops,
+            self.knowledge.transmission_delay,
+            self.knowledge.mean_delay_per_hop,
+        )
 
 
 class AdaptiveAdversary(Adversary):
@@ -250,6 +309,30 @@ class AdaptiveAdversary(Adversary):
             return min(saturation_delay, self.knowledge.mean_delay_per_hop)
         return saturation_delay
 
+    def _estimate_batch(self, arrivals, hops, origins):
+        capacity = self.knowledge.buffer_capacity
+        assert capacity is not None  # enforced in __init__
+        estimates = kernels.adaptive_estimates(
+            arrivals,
+            hops,
+            transmission_delay=self.knowledge.transmission_delay,
+            mean_delay_per_hop=self.knowledge.mean_delay_per_hop,
+            buffer_capacity=capacity,
+            n_sources=self.knowledge.n_sources,
+            preemption_threshold=self.preemption_threshold,
+            warmup_observations=self.warmup_observations,
+            clamp_to_advertised=self.clamp_to_advertised,
+            prior_count=self._arrival_count,
+            prior_first_arrival=self._first_arrival,
+        )
+        # Leave the adversary in the exact state the scalar loop would:
+        # every batch observation has been recorded.
+        if self._first_arrival is None:
+            self._first_arrival = float(arrivals[0])
+        self._last_arrival = float(arrivals[-1])
+        self._arrival_count += int(arrivals.size)
+        return estimates
+
 
 class PathAwareAdaptiveAdversary(Adversary):
     """Extension: a deployment-aware adversary modelling every hop.
@@ -332,6 +415,12 @@ class PathAwareAdaptiveAdversary(Adversary):
         transmission = observation.hop_count * self.knowledge.transmission_delay
         return observation.arrival_time - transmission - extra
 
+    def _estimate_batch(self, arrivals, hops, origins):
+        return kernels.path_table_estimates(
+            arrivals, hops, origins, self._path_delay,
+            self.knowledge.transmission_delay,
+        )
+
 
 class ModelBasedAdversary(Adversary):
     """Extension: estimates via the closed-form RCAD node model.
@@ -395,3 +484,9 @@ class ModelBasedAdversary(Adversary):
             )
         transmission = observation.hop_count * self.knowledge.transmission_delay
         return observation.arrival_time - transmission - extra
+
+    def _estimate_batch(self, arrivals, hops, origins):
+        return kernels.path_table_estimates(
+            arrivals, hops, origins, self._path_delay,
+            self.knowledge.transmission_delay,
+        )

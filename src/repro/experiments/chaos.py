@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.analysis.sweep import sweep
 from repro.experiments.common import build_adversary, score_flow
 from repro.faults.arq import ArqSpec
 from repro.faults.plan import (
@@ -35,8 +36,8 @@ from repro.faults.plan import (
     FaultPlan,
     JitterSpec,
 )
+from repro.runtime.context import run_simulation
 from repro.sim.config import BufferSpec, SimulationConfig
-from repro.sim.simulator import SensorNetworkSimulator
 
 __all__ = ["ChaosRow", "chaos_plan", "chaos_sweep", "render_chaos_rows"]
 
@@ -127,39 +128,41 @@ def chaos_sweep(
     flow_id: int = 1,
 ) -> list[ChaosRow]:
     """Sweep fault intensity across disciplines and ARQ modes."""
-    rows: list[ChaosRow] = []
-    for discipline in disciplines:
-        for arq in arq_modes:
-            for intensity in intensities:
-                config = _discipline_config(
-                    discipline, interarrival, n_packets, seed
-                )
-                config = config.with_faults(chaos_plan(intensity, config, arq=arq))
-                result = SensorNetworkSimulator(config).run()
-                delivered = result.delivered_count(flow_id)
-                if delivered:
-                    metrics = score_flow(
-                        result, build_adversary("baseline", "rcad"), flow_id
-                    )
-                    mse, latency = metrics.mse, metrics.latency.mean
-                else:  # the adversary has nothing to estimate
-                    mse, latency = float("nan"), float("nan")
-                rows.append(
-                    ChaosRow(
-                        discipline=discipline,
-                        arq=arq,
-                        intensity=float(intensity),
-                        delivered_fraction=delivered / n_packets,
-                        mse=mse,
-                        mean_latency=latency,
-                        retransmissions=result.total_retransmissions(),
-                        lost_in_transit=result.lost_in_transit,
-                        stranded=result.stranded_in_buffer,
-                        duplicates_suppressed=result.duplicates_suppressed,
-                        preemptions=result.total_preemptions(),
-                    )
-                )
-    return rows
+    cells = [
+        (discipline, arq, intensity)
+        for discipline in disciplines
+        for arq in arq_modes
+        for intensity in intensities
+    ]
+
+    def run_cell(cell: tuple[str, bool, float]) -> ChaosRow:
+        discipline, arq, intensity = cell
+        config = _discipline_config(discipline, interarrival, n_packets, seed)
+        config = config.with_faults(chaos_plan(intensity, config, arq=arq))
+        result = run_simulation(config)
+        delivered = result.delivered_count(flow_id)
+        if delivered:
+            metrics = score_flow(
+                result, build_adversary("baseline", "rcad"), flow_id
+            )
+            mse, latency = metrics.mse, metrics.latency.mean
+        else:  # the adversary has nothing to estimate
+            mse, latency = float("nan"), float("nan")
+        return ChaosRow(
+            discipline=discipline,
+            arq=arq,
+            intensity=float(intensity),
+            delivered_fraction=delivered / n_packets,
+            mse=mse,
+            mean_latency=latency,
+            retransmissions=result.total_retransmissions(),
+            lost_in_transit=result.lost_in_transit,
+            stranded=result.stranded_in_buffer,
+            duplicates_suppressed=result.duplicates_suppressed,
+            preemptions=result.total_preemptions(),
+        )
+
+    return sweep(cells, run_cell)
 
 
 def render_chaos_rows(rows: list[ChaosRow]) -> str:

@@ -17,9 +17,9 @@ from repro.core.adversary import (
     NaiveAdversary,
 )
 from repro.core.metrics import FlowMetrics, summarize_flow
+from repro.runtime.context import run_simulation
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimulationResult
-from repro.sim.simulator import SensorNetworkSimulator
 
 __all__ = [
     "PAPER_INTERARRIVALS",
@@ -100,7 +100,7 @@ def run_paper_case(
         buffer_capacity=PAPER_BUFFER_CAPACITY,
         seed=seed,
     )
-    return SensorNetworkSimulator(config).run()
+    return run_simulation(config)
 
 
 def score_flow(

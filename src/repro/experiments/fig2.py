@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.analysis.records import ExperimentSeries, ExperimentTable
+from repro.analysis.sweep import sweep
 from repro.experiments.common import (
     PAPER_INTERARRIVALS,
     PAPER_N_PACKETS,
@@ -61,18 +62,29 @@ def figure2(
         x_label="1/lambda",
         y_label="mean end-to-end latency",
     )
+
+    # Flatten the (case, 1/lambda) grid into independent cells so the
+    # active executor can fan every simulation out at once.
+    cells = [
+        (case, interarrival)
+        for case in CASE_LABELS
+        for interarrival in interarrivals
+    ]
+
+    def run_cell(cell: tuple[str, float]) -> tuple[float, float]:
+        case, interarrival = cell
+        result = run_paper_case(
+            interarrival=interarrival, case=case, n_packets=n_packets, seed=seed
+        )
+        metrics = score_flow(
+            result, build_adversary("baseline", case), flow_id=flow_id
+        )
+        return metrics.mse, metrics.latency.mean
+
+    scores = dict(zip(cells, sweep(cells, run_cell)))
     for case, label in CASE_LABELS.items():
-        mse_values = []
-        latency_values = []
-        for interarrival in interarrivals:
-            result = run_paper_case(
-                interarrival=interarrival, case=case, n_packets=n_packets, seed=seed
-            )
-            metrics = score_flow(
-                result, build_adversary("baseline", case), flow_id=flow_id
-            )
-            mse_values.append(metrics.mse)
-            latency_values.append(metrics.latency.mean)
+        mse_values = [scores[(case, ia)][0] for ia in interarrivals]
+        latency_values = [scores[(case, ia)][1] for ia in interarrivals]
         mse_table.add(ExperimentSeries(label, list(interarrivals), mse_values))
         latency_table.add(ExperimentSeries(label, list(interarrivals), latency_values))
     return mse_table, latency_table

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.analysis.records import ExperimentSeries, ExperimentTable
+from repro.analysis.sweep import sweep
 from repro.core.adversary import Adversary, PathAwareAdaptiveAdversary
 from repro.experiments.common import (
     PAPER_INTERARRIVALS,
@@ -83,21 +84,26 @@ def figure3(
         y_label="mean square error",
     )
     labels = dict(ADVERSARY_LABELS)
-    per_adversary: dict[str, list[float]] = {k: [] for k in labels}
+    kinds = list(labels)
     if include_path_aware:
-        per_adversary["path-aware"] = []
+        kinds.append("path-aware")
         labels["path-aware"] = PATH_AWARE_LABEL
-    for interarrival in interarrivals:
+
+    def run_load(interarrival: float) -> dict[str, float]:
         result = run_paper_case(
             interarrival=interarrival, case="rcad", n_packets=n_packets, seed=seed
         )
-        for kind in per_adversary:
+        scores: dict[str, float] = {}
+        for kind in kinds:
             if kind == "path-aware":
                 adversary = paper_path_aware_adversary(interarrival)
             else:
                 adversary = build_adversary(kind, "rcad")
-            metrics = score_flow(result, adversary, flow_id=flow_id)
-            per_adversary[kind].append(metrics.mse)
+            scores[kind] = score_flow(result, adversary, flow_id=flow_id).mse
+        return scores
+
+    per_load = sweep(list(interarrivals), run_load)
     for kind, label in labels.items():
-        table.add(ExperimentSeries(label, list(interarrivals), per_adversary[kind]))
+        values = [scores[kind] for scores in per_load]
+        table.add(ExperimentSeries(label, list(interarrivals), values))
     return table

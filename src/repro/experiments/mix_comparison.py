@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.sweep import sweep
 from repro.mixes.designs import Mix, PoolMix, StopAndGoMix, ThresholdMix, TimedMix
 from repro.mixes.metrics import (
     mean_latency,
@@ -84,19 +85,25 @@ def compare_mixes_at_equal_latency(
         PoolMix(batch_size=batch, pool_size=max(1, batch // 4)),
         StopAndGoMix(mean_delay=target_latency),
     ]
-    rows = []
-    for design in designs:
-        output = design.transform(arrivals, rng)
+
+    def score_design(cell: tuple[int, Mix]) -> MixComparisonRow:
+        index, design = cell
+        # Each design draws from its own spawned stream, so scores do
+        # not depend on how many random draws earlier designs consumed
+        # (and the sweep parallelizes without order effects).
+        design_rng = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence(entropy=seed, spawn_key=(index + 1,)))
+        )
+        output = design.transform(arrivals, design_rng)
         linkage = None
         if isinstance(design, StopAndGoMix):
             linkage = sg_linkage_entropy(output, mean_delay=target_latency)
-        rows.append(
-            MixComparisonRow(
-                design=design.name,
-                mean_latency=mean_latency(output),
-                temporal_mse=temporal_mse(output),
-                set_entropy=sender_anonymity_entropy(output),
-                linkage_entropy=linkage,
-            )
+        return MixComparisonRow(
+            design=design.name,
+            mean_latency=mean_latency(output),
+            temporal_mse=temporal_mse(output),
+            set_entropy=sender_anonymity_entropy(output),
+            linkage_entropy=linkage,
         )
-    return rows
+
+    return sweep(list(enumerate(designs)), score_design)

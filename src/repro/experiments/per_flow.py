@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.sweep import sweep
 from repro.experiments.common import build_adversary, run_paper_case, score_flow
 
 __all__ = ["PerFlowRow", "per_flow_privacy"]
@@ -43,17 +44,17 @@ def per_flow_privacy(
         interarrival=interarrival, case=case, n_packets=n_packets, seed=seed
     )
     labels = {1: "S1", 2: "S2", 3: "S3", 4: "S4"}
-    rows = []
-    for flow_id, hops in FLOW_HOPS.items():
+
+    def score_one(flow_id: int) -> PerFlowRow:
         metrics = score_flow(result, build_adversary("baseline", case), flow_id)
-        rows.append(
-            PerFlowRow(
-                flow_id=flow_id,
-                label=labels[flow_id],
-                hop_count=hops,
-                mse=metrics.mse,
-                mean_latency=metrics.latency.mean,
-            )
+        return PerFlowRow(
+            flow_id=flow_id,
+            label=labels[flow_id],
+            hop_count=FLOW_HOPS[flow_id],
+            mse=metrics.mse,
+            mean_latency=metrics.latency.mean,
         )
+
+    rows = sweep(list(FLOW_HOPS), score_one)
     rows.sort(key=lambda row: row.hop_count)
     return rows

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.stats import SummaryStats
-from repro.analysis.sweep import replicate
+from repro.analysis.stats import SummaryStats, summarize
+from repro.analysis.sweep import sweep
 from repro.experiments.common import (
     PAPER_BUFFER_CAPACITY,
     PAPER_MEAN_DELAY,
@@ -27,8 +27,8 @@ from repro.experiments.common import (
     build_adversary,
     score_flow,
 )
+from repro.runtime.context import run_simulation
 from repro.sim.config import SimulationConfig
-from repro.sim.simulator import SensorNetworkSimulator
 
 __all__ = [
     "LinkLossRow",
@@ -58,8 +58,8 @@ def link_loss_robustness(
     flow_id: int = 1,
 ) -> list[LinkLossRow]:
     """Sweep per-hop link loss under the RCAD configuration."""
-    rows = []
-    for loss in loss_probabilities:
+
+    def run_loss(loss: float) -> LinkLossRow:
         config = SimulationConfig.paper_baseline(
             interarrival=interarrival,
             case="rcad",
@@ -69,7 +69,7 @@ def link_loss_robustness(
             seed=seed,
         )
         config.link_loss_probability = float(loss)
-        result = SensorNetworkSimulator(config).run()
+        result = run_simulation(config)
         delivered = result.delivered_count(flow_id)
         if delivered == 0:
             raise RuntimeError(
@@ -77,17 +77,16 @@ def link_loss_robustness(
                 "lower the loss probability"
             )
         metrics = score_flow(result, build_adversary("baseline", "rcad"), flow_id)
-        rows.append(
-            LinkLossRow(
-                loss_probability=float(loss),
-                delivered_fraction=delivered / n_packets,
-                lost_in_transit=result.lost_in_transit,
-                mse=metrics.mse,
-                mean_latency=metrics.latency.mean,
-                preemptions=result.total_preemptions(),
-            )
+        return LinkLossRow(
+            loss_probability=float(loss),
+            delivered_fraction=delivered / n_packets,
+            lost_in_transit=result.lost_in_transit,
+            mse=metrics.mse,
+            mean_latency=metrics.latency.mean,
+            preemptions=result.total_preemptions(),
         )
-    return rows
+
+    return sweep(list(loss_probabilities), run_loss)
 
 
 @dataclass(frozen=True)
@@ -111,34 +110,35 @@ def figure2_replicated(
     """Figure 2's headline cells with seed-replication statistics."""
     if n_replications < 2:
         raise ValueError("need at least 2 replications for an interval")
+    # Replications are swept as pure (case, seed) -> (mse, latency)
+    # cells -- no side effects in the worker function, so the sweep is
+    # safe to fan out over processes.
+    grid = [
+        (case, base_seed + i) for case in cases for i in range(n_replications)
+    ]
+
+    def one(cell: tuple[str, int]) -> tuple[float, float]:
+        case, seed = cell
+        config = SimulationConfig.paper_baseline(
+            interarrival=interarrival,
+            case=case,
+            n_packets=n_packets,
+            seed=seed,
+        )
+        result = run_simulation(config)
+        metrics = score_flow(result, build_adversary("baseline", case), flow_id)
+        return metrics.mse, metrics.latency.mean
+
+    scores = dict(zip(grid, sweep(grid, one)))
     cells = []
     for case in cases:
-        results: dict[int, tuple[float, float]] = {}
-
-        def one(seed: int, _case: str = case) -> float:
-            config = SimulationConfig.paper_baseline(
-                interarrival=interarrival,
-                case=_case,
-                n_packets=n_packets,
-                seed=seed,
-            )
-            result = SensorNetworkSimulator(config).run()
-            metrics = score_flow(
-                result, build_adversary("baseline", _case), flow_id
-            )
-            results[seed] = (metrics.mse, metrics.latency.mean)
-            return metrics.mse
-
-        mse_stats = replicate(n_replications, one, base_seed=base_seed)
-        from repro.analysis.stats import summarize
-
-        latency_stats = summarize([lat for _, lat in results.values()])
+        pairs = [scores[(case, base_seed + i)] for i in range(n_replications)]
         cells.append(
             Figure2Cell(
                 case=case,
                 interarrival=interarrival,
-                mse=mse_stats,
-                latency=latency_stats,
+                mse=summarize([mse for mse, _ in pairs]),
+                latency=summarize([lat for _, lat in pairs]),
             )
         )
     return cells

@@ -21,19 +21,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.sweep import sweep
 from repro.core.planner import UniformPlanner
 from repro.experiments.common import (
     PAPER_BUFFER_CAPACITY,
     PAPER_MEAN_DELAY,
     PAPER_N_SOURCES,
     build_adversary,
-    run_paper_case,
     score_flow,
 )
 from repro.net.routing import greedy_grid_tree
 from repro.net.topology import paper_topology
+from repro.runtime.context import run_simulation
 from repro.sim.config import BufferSpec, FlowSpec, SimulationConfig
-from repro.sim.simulator import SensorNetworkSimulator
 from repro.traffic.generators import (
     JitteredPeriodicTraffic,
     OnOffTraffic,
@@ -88,8 +88,8 @@ def workload_sensitivity(
     deployment = paper_topology()
     tree = greedy_grid_tree(deployment, width=12)
     sources = [deployment.node_for_label(s) for s in ("S1", "S2", "S3", "S4")]
-    rows = []
-    for name, model in _workloads(interarrival).items():
+
+    def run_workload(name: str) -> WorkloadRow:
         flows = [
             FlowSpec(
                 flow_id=i + 1,
@@ -107,17 +107,16 @@ def workload_sensitivity(
             buffers=BufferSpec(kind="rcad", capacity=PAPER_BUFFER_CAPACITY),
             seed=seed,
         )
-        result = SensorNetworkSimulator(config).run()
+        result = run_simulation(config)
         metrics = score_flow(result, build_adversary("baseline", "rcad"), flow_id)
-        rows.append(
-            WorkloadRow(
-                workload=name,
-                mse=metrics.mse,
-                mean_latency=metrics.latency.mean,
-                preemptions=result.total_preemptions(),
-            )
+        return WorkloadRow(
+            workload=name,
+            mse=metrics.mse,
+            mean_latency=metrics.latency.mean,
+            preemptions=result.total_preemptions(),
         )
-    return rows
+
+    return sweep(list(_workloads(interarrival)), run_workload)
 
 
 @dataclass(frozen=True)
@@ -143,10 +142,11 @@ def buffer_size_sweep(
     rho = n lambda / mu = 60 Erlang; once k clears it, preemption
     vanishes and the network behaves like the unlimited case.
     """
-    rows = []
     for capacity in capacities:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
+
+    def run_capacity(capacity: int) -> BufferSizeRow:
         config = SimulationConfig.paper_baseline(
             interarrival=interarrival,
             case="rcad",
@@ -154,17 +154,16 @@ def buffer_size_sweep(
             buffer_capacity=capacity,
             seed=seed,
         )
-        result = SensorNetworkSimulator(config).run()
+        result = run_simulation(config)
         metrics = score_flow(result, build_adversary("baseline", "rcad"), flow_id)
-        rows.append(
-            BufferSizeRow(
-                capacity=capacity,
-                mse=metrics.mse,
-                mean_latency=metrics.latency.mean,
-                preemptions=result.total_preemptions(),
-            )
+        return BufferSizeRow(
+            capacity=capacity,
+            mse=metrics.mse,
+            mean_latency=metrics.latency.mean,
+            preemptions=result.total_preemptions(),
         )
-    return rows
+
+    return sweep(list(capacities), run_capacity)
 
 
 @dataclass(frozen=True)
@@ -190,40 +189,45 @@ def mean_delay_sweep(
     theory regime) and RCAD at k = 10 (preemption regime at larger
     1/mu, since rho grows with the advertised delay).
     """
-    rows = []
     for mean_delay in mean_delays:
         if mean_delay <= 0:
             raise ValueError(f"mean delay must be positive, got {mean_delay}")
-        for case in ("unlimited", "rcad"):
-            config = SimulationConfig.paper_baseline(
-                interarrival=interarrival,
-                case=case,
-                n_packets=n_packets,
-                mean_delay=mean_delay,
-                buffer_capacity=PAPER_BUFFER_CAPACITY,
-                seed=seed,
-            )
-            result = SensorNetworkSimulator(config).run()
-            # The adversary knows the actual advertised delay.
-            from repro.core.adversary import BaselineAdversary, FlowKnowledge
+    cells = [
+        (mean_delay, case)
+        for mean_delay in mean_delays
+        for case in ("unlimited", "rcad")
+    ]
 
-            adversary = BaselineAdversary(
-                FlowKnowledge(
-                    transmission_delay=1.0,
-                    mean_delay_per_hop=mean_delay,
-                    buffer_capacity=(
-                        PAPER_BUFFER_CAPACITY if case == "rcad" else None
-                    ),
-                    n_sources=PAPER_N_SOURCES,
-                )
+    def run_cell(cell: tuple[float, str]) -> MeanDelayRow:
+        mean_delay, case = cell
+        config = SimulationConfig.paper_baseline(
+            interarrival=interarrival,
+            case=case,
+            n_packets=n_packets,
+            mean_delay=mean_delay,
+            buffer_capacity=PAPER_BUFFER_CAPACITY,
+            seed=seed,
+        )
+        result = run_simulation(config)
+        # The adversary knows the actual advertised delay.
+        from repro.core.adversary import BaselineAdversary, FlowKnowledge
+
+        adversary = BaselineAdversary(
+            FlowKnowledge(
+                transmission_delay=1.0,
+                mean_delay_per_hop=mean_delay,
+                buffer_capacity=(
+                    PAPER_BUFFER_CAPACITY if case == "rcad" else None
+                ),
+                n_sources=PAPER_N_SOURCES,
             )
-            metrics = score_flow(result, adversary, flow_id)
-            rows.append(
-                MeanDelayRow(
-                    mean_delay=mean_delay,
-                    case=case,
-                    mse=metrics.mse,
-                    mean_latency=metrics.latency.mean,
-                )
-            )
-    return rows
+        )
+        metrics = score_flow(result, adversary, flow_id)
+        return MeanDelayRow(
+            mean_delay=mean_delay,
+            case=case,
+            mse=metrics.mse,
+            mean_latency=metrics.latency.mean,
+        )
+
+    return sweep(cells, run_cell)

@@ -83,6 +83,33 @@ def binned_mutual_information(
     return max(mi, 0.0)
 
 
+def _marginal_neighbor_counts(
+    tree: cKDTree, points: np.ndarray, radii: np.ndarray
+) -> np.ndarray:
+    """Points within each point's radius (vectorized KSG inner loop).
+
+    One batched ``query_ball_point`` call with per-point radii replaces
+    the former per-point Python loop -- the KSG hot path.  The scalar
+    loop is kept as :func:`_marginal_neighbor_counts_scalar`, the
+    oracle for the equivalence tests.
+    """
+    return (
+        tree.query_ball_point(points[:, None], radii, return_length=True) - 1
+    )
+
+
+def _marginal_neighbor_counts_scalar(
+    tree: cKDTree, points: np.ndarray, radii: np.ndarray
+) -> np.ndarray:
+    """Per-point loop form of :func:`_marginal_neighbor_counts`."""
+    return np.array(
+        [
+            len(tree.query_ball_point([point], radius)) - 1
+            for point, radius in zip(points, radii)
+        ]
+    )
+
+
 def ksg_mutual_information(x: np.ndarray, z: np.ndarray, k: int = 4) -> float:
     """Kraskov--Stogbauer--Grassberger kNN estimate of I(X; Z) in nats.
 
@@ -116,12 +143,8 @@ def ksg_mutual_information(x: np.ndarray, z: np.ndarray, k: int = 4) -> float:
 
     tree_x = cKDTree(x[:, None])
     tree_z = cKDTree(z[:, None])
-    n_x = np.array(
-        [len(tree_x.query_ball_point([xi], r - 1e-12)) - 1 for xi, r in zip(x, radii)]
-    )
-    n_z = np.array(
-        [len(tree_z.query_ball_point([zi], r - 1e-12)) - 1 for zi, r in zip(z, radii)]
-    )
+    n_x = _marginal_neighbor_counts(tree_x, x, radii - 1e-12)
+    n_z = _marginal_neighbor_counts(tree_z, z, radii - 1e-12)
     mi = (
         float(digamma(k))
         + float(digamma(n))

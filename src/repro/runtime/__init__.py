@@ -1,0 +1,57 @@
+"""Parallel experiment runtime: executors, result cache, batch kernels.
+
+Every figure and ablation funnels its simulations through two seams --
+the :func:`repro.analysis.sweep.sweep`/``replicate`` loop and the
+per-cell simulator invocation.  This package instruments both:
+
+* :mod:`repro.runtime.executors` -- pluggable map strategies: the
+  :class:`SerialExecutor` (the exact legacy loop) and the
+  :class:`ParallelExecutor` (a ``ProcessPoolExecutor`` fan-out with
+  chunking and ordered result reassembly).  Determinism is preserved
+  because every simulation seeds its own named RNG streams from its
+  configuration (:class:`repro.des.rng.RngRegistry`), so results do not
+  depend on which worker ran which cell;
+* :mod:`repro.runtime.cache` -- a content-addressed on-disk result
+  cache keyed by a stable fingerprint of ``(SimulationConfig, seed,
+  code-version salt)``: re-running a figure after touching only
+  analysis code skips the simulations entirely;
+* :mod:`repro.runtime.context` -- the ambient :class:`RuntimeContext`
+  (:func:`use_runtime`) that ties the two together and the
+  cache-aware :func:`run_simulation` entry point all experiment
+  drivers call;
+* :mod:`repro.runtime.kernels` -- numpy batch kernels for the hot
+  scoring paths (adversary estimation, the Erlang-B recursion); the
+  scalar implementations remain in place as the oracle the equivalence
+  tests check against.
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runtime.context import (
+    RuntimeContext,
+    current_runtime,
+    run_simulation,
+    use_runtime,
+)
+from repro.runtime.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    WorkerError,
+)
+from repro.runtime.fingerprint import code_salt, stable_fingerprint
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "RuntimeContext",
+    "current_runtime",
+    "run_simulation",
+    "use_runtime",
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "WorkerError",
+    "code_salt",
+    "stable_fingerprint",
+]

@@ -1,0 +1,169 @@
+"""Content-addressed on-disk cache of simulation results.
+
+A cache entry is one pickled ``(elapsed_seconds, SimulationResult)``
+pair stored under ``<dir>/<key[:2]>/<key>.pkl`` where ``key`` is the
+stable fingerprint of ``(format version, code salt, SimulationConfig)``
+-- see :mod:`repro.runtime.fingerprint`.  Because the configuration
+includes the seed and the salt covers the simulator's source, a hit is
+guaranteed to be the byte-identical result the simulator would have
+produced.
+
+Failure policy: a corrupted or truncated entry is *a miss, not a
+crash* -- it is counted, deleted and recomputed.  Writes go through a
+temp file plus :func:`os.replace` so a killed process can never leave a
+half-written entry behind that parses.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.runtime.fingerprint import (
+    CACHE_FORMAT_VERSION,
+    code_salt,
+    stable_fingerprint,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.config import SimulationConfig
+    from repro.sim.results import SimulationResult
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/results``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "results"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/elapsed counters for one cache (mergeable across workers)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    seconds_saved: float = 0.0
+    seconds_computed: float = 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy (for before/after deltas in workers)."""
+        return replace(self)
+
+    def delta_since(self, before: "CacheStats") -> "CacheStats":
+        """Counter increments accumulated since ``before``."""
+        return CacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            stores=self.stores - before.stores,
+            corrupt=self.corrupt - before.corrupt,
+            seconds_saved=self.seconds_saved - before.seconds_saved,
+            seconds_computed=self.seconds_computed - before.seconds_computed,
+        )
+
+    def merge(self, delta: "CacheStats") -> None:
+        """Fold a worker-side delta into this (parent-side) counter set."""
+        self.hits += delta.hits
+        self.misses += delta.misses
+        self.stores += delta.stores
+        self.corrupt += delta.corrupt
+        self.seconds_saved += delta.seconds_saved
+        self.seconds_computed += delta.seconds_computed
+
+    def render(self) -> str:
+        """One status line, the CLI's cache-stats output."""
+        return (
+            f"cache: {self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stored, {self.corrupt} corrupt; "
+            f"{self.seconds_saved:.1f}s compute saved, "
+            f"{self.seconds_computed:.1f}s spent"
+        )
+
+
+class ResultCache:
+    """Content-addressed store of :class:`SimulationResult` objects.
+
+    Parameters
+    ----------
+    directory:
+        Root of the on-disk store (created lazily on first write).
+    salt:
+        Code-version salt mixed into every key; defaults to
+        :func:`repro.runtime.fingerprint.code_salt`.  Tests inject a
+        fixed salt to exercise invalidation without editing source.
+    """
+
+    def __init__(self, directory: str | Path, salt: str | None = None) -> None:
+        self.directory = Path(directory)
+        self.salt = code_salt() if salt is None else str(salt)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def key_for(self, config: "SimulationConfig") -> str:
+        """The content address of one configuration (seed included)."""
+        return stable_fingerprint((CACHE_FORMAT_VERSION, self.salt, config))
+
+    def _path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    def get(self, config: "SimulationConfig") -> "SimulationResult | None":
+        """The stored result for ``config``, or None on a miss.
+
+        A corrupted entry (unpicklable, wrong shape) is deleted and
+        reported as a miss, never raised.
+        """
+        path = self._path_for(self.key_for(config))
+        if not path.is_file():
+            self.stats.misses += 1
+            return None
+        try:
+            with path.open("rb") as handle:
+                elapsed, result = pickle.load(handle)
+            elapsed = float(elapsed)
+        except Exception:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racy cleanup is best-effort
+                pass
+            return None
+        self.stats.hits += 1
+        self.stats.seconds_saved += elapsed
+        return result
+
+    def put(
+        self, config: "SimulationConfig", result: "SimulationResult", elapsed: float
+    ) -> None:
+        """Store ``result`` (with its compute time) under ``config``'s key."""
+        path = self._path_for(self.key_for(config))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: concurrent workers may race on the same key,
+        # but every one of them writes the identical bytes-for-bytes
+        # payload, so last-replace-wins is harmless.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump((float(elapsed), result), handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        self.stats.seconds_computed += elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self.directory)!r}, salt={self.salt[:8]}...)"

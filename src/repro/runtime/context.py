@@ -1,0 +1,123 @@
+"""The ambient runtime context: which executor and cache are active.
+
+Experiment drivers never name an executor or a cache; they call
+:func:`repro.analysis.sweep.sweep` and :func:`run_simulation`, which
+consult the innermost :func:`use_runtime` context.  The default context
+is the legacy behaviour exactly: serial execution, no cache.
+
+::
+
+    with use_runtime(jobs=8, cache_dir="~/.cache/repro/results") as ctx:
+        mse, latency = figure2()          # 30 cells fan out over 8 workers
+    print(ctx.cache.stats.render())       # cache: 30 hits, 0 misses, ...
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.executors import Executor, ParallelExecutor, SerialExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.config import SimulationConfig
+    from repro.sim.results import SimulationResult
+
+__all__ = [
+    "RuntimeStats",
+    "RuntimeContext",
+    "current_runtime",
+    "use_runtime",
+    "run_simulation",
+]
+
+
+@dataclass
+class RuntimeStats:
+    """Counters for one context (worker deltas fold in here too)."""
+
+    simulations: int = 0
+    """Actual simulator invocations (cache hits do not count)."""
+
+
+@dataclass
+class RuntimeContext:
+    """One executor/cache pairing, active within a ``use_runtime`` block."""
+
+    executor: Executor = field(default_factory=SerialExecutor)
+    cache: ResultCache | None = None
+    stats: RuntimeStats = field(default_factory=RuntimeStats)
+
+
+_DEFAULT = RuntimeContext()
+_STACK: list[RuntimeContext] = []
+
+
+def current_runtime() -> RuntimeContext:
+    """The innermost active context (or the serial, cacheless default)."""
+    return _STACK[-1] if _STACK else _DEFAULT
+
+
+@contextmanager
+def use_runtime(
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    cache_dir: str | Path | None = None,
+    chunk_size: int | None = None,
+) -> Iterator[RuntimeContext]:
+    """Activate an executor/cache pairing for the enclosed experiments.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 keeps the exact serial loop.
+    cache:
+        A ready :class:`ResultCache`, or None.
+    cache_dir:
+        Convenience: build a :class:`ResultCache` rooted here (ignored
+        when ``cache`` is given).
+    chunk_size:
+        Forwarded to :class:`ParallelExecutor`.
+    """
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    executor: Executor
+    if jobs <= 1:
+        executor = SerialExecutor()
+    else:
+        executor = ParallelExecutor(jobs, chunk_size=chunk_size)
+    context = RuntimeContext(executor=executor, cache=cache)
+    _STACK.append(context)
+    try:
+        yield context
+    finally:
+        _STACK.pop()
+
+
+def run_simulation(config: "SimulationConfig") -> "SimulationResult":
+    """Run one simulation through the active cache, counting invocations.
+
+    This is the seam every experiment driver uses instead of
+    constructing :class:`~repro.sim.simulator.SensorNetworkSimulator`
+    directly: with a cache active, a previously computed
+    ``(config, seed, code version)`` cell is served from disk without
+    touching the simulator at all.
+    """
+    context = current_runtime()
+    if context.cache is not None:
+        cached = context.cache.get(config)
+        if cached is not None:
+            return cached
+    from repro.sim.simulator import SensorNetworkSimulator
+
+    started = time.perf_counter()
+    result = SensorNetworkSimulator(config).run()
+    elapsed = time.perf_counter() - started
+    context.stats.simulations += 1
+    if context.cache is not None:
+        context.cache.put(config, result, elapsed)
+    return result

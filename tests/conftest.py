@@ -17,6 +17,26 @@ from repro.sim.config import SimulationConfig
 from repro.sim.simulator import SensorNetworkSimulator
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the default result cache at a per-session temp directory.
+
+    CLI commands cache simulation results by default; without this the
+    test suite would write into the user's real cache and reuse entries
+    across runs.
+    """
+    import os
+
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 @pytest.fixture(scope="session")
 def paper_deployment():
     """The Figure 1 deployment."""

@@ -1,0 +1,130 @@
+"""Correctness of the content-addressed result cache."""
+
+import pickle
+
+from repro.cli import main
+from repro.runtime import ResultCache, run_simulation, use_runtime
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import SensorNetworkSimulator
+
+
+def _config(**overrides):
+    defaults = dict(interarrival=4.0, case="rcad", n_packets=40, seed=0)
+    defaults.update(overrides)
+    return SimulationConfig.paper_baseline(**defaults)
+
+
+class TestResultCache:
+    def test_hit_returns_stored_result_unchanged(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = _config()
+        result = SensorNetworkSimulator(config).run()
+        cache.put(config, result, elapsed=1.25)
+
+        restored = cache.get(config)
+        assert restored is not None
+        assert [r.delivered_at for r in restored.records] == [
+            r.delivered_at for r in result.records
+        ]
+        assert [r.created_at for r in restored.records] == [
+            r.created_at for r in result.records
+        ]
+        assert cache.stats.hits == 1
+        assert cache.stats.seconds_saved == 1.25
+
+    def test_config_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = _config()
+        cache.put(config, SensorNetworkSimulator(config).run(), elapsed=0.1)
+        assert cache.get(_config(interarrival=6.0)) is None
+        assert cache.get(_config(seed=7)) is None
+        assert cache.stats.misses == 2
+
+    def test_salt_change_misses(self, tmp_path):
+        config = _config()
+        old = ResultCache(tmp_path, salt="code-v1")
+        old.put(config, SensorNetworkSimulator(config).run(), elapsed=0.1)
+        new = ResultCache(tmp_path, salt="code-v2")
+        assert new.get(config) is None
+
+    def test_corrupted_entry_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = _config()
+        cache.put(config, SensorNetworkSimulator(config).run(), elapsed=0.1)
+        path = cache._path_for(cache.key_for(config))
+        path.write_bytes(b"not a pickle")
+
+        assert cache.get(config) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # the bad entry is purged
+        # a fresh put/get cycle works again
+        cache.put(config, SensorNetworkSimulator(config).run(), elapsed=0.1)
+        assert cache.get(config) is not None
+
+    def test_wrong_shape_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = _config()
+        path = cache._path_for(cache.key_for(config))
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps("just one string"))
+        assert cache.get(config) is None
+        assert cache.stats.corrupt == 1
+
+
+class TestRunSimulationCaching:
+    def test_warm_rerun_makes_zero_simulator_invocations(self, tmp_path):
+        config = _config()
+        with use_runtime(cache_dir=tmp_path) as cold:
+            first = run_simulation(config)
+        assert cold.stats.simulations == 1
+        assert cold.cache.stats.stores == 1
+
+        with use_runtime(cache_dir=tmp_path) as warm:
+            second = run_simulation(config)
+        assert warm.stats.simulations == 0
+        assert warm.cache.stats.hits == 1
+        assert [r.delivered_at for r in second.records] == [
+            r.delivered_at for r in first.records
+        ]
+
+    def test_no_cache_context_never_touches_disk(self, tmp_path):
+        config = _config()
+        with use_runtime() as ctx:
+            run_simulation(config)
+        assert ctx.cache is None
+        assert ctx.stats.simulations == 1
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCliCacheIntegration:
+    def test_fig2_jobs4_warm_cache_zero_invocations(self, tmp_path, capsys):
+        """Acceptance: a warm-cache rerun reruns no simulation at all."""
+        argv = [
+            "fig2", "--packets", "50", "--interarrivals", "2,20",
+            "--jobs", "4", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cache: 0 hits, 6 misses, 6 stored" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache: 6 hits, 0 misses, 0 stored" in warm
+        # identical tables modulo the cache-stats line
+        def strip(text):
+            return [
+                line for line in text.splitlines()
+                if not line.startswith("cache:")
+            ]
+
+        assert strip(cold) == strip(warm)
+
+    def test_no_cache_flag_bypasses_reads_and_writes(self, tmp_path, capsys):
+        argv = [
+            "fig2", "--packets", "50", "--interarrivals", "20",
+            "--no-cache", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache:" not in out
+        assert list(tmp_path.iterdir()) == []

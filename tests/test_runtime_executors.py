@@ -1,0 +1,112 @@
+"""Executor contract: ordering, chunking, failure propagation."""
+
+import pytest
+
+from repro.analysis.sweep import ReplicationError, replicate, sweep
+from repro.runtime import (
+    ParallelExecutor,
+    SerialExecutor,
+    WorkerError,
+    executors as executors_module,
+    use_runtime,
+)
+
+
+class TestSerialExecutor:
+    def test_preserves_order(self):
+        assert SerialExecutor().map(lambda x: x * x, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty(self):
+        assert SerialExecutor().map(lambda x: x, []) == []
+
+
+class TestParallelExecutor:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=2, chunk_size=0)
+
+    def test_chunksize_heuristic(self):
+        executor = ParallelExecutor(jobs=4)
+        assert executor._chunksize(100) == 7  # ceil(100 / 16)
+        assert executor._chunksize(3) == 1
+        assert ParallelExecutor(jobs=4, chunk_size=5)._chunksize(100) == 5
+
+    def test_preserves_order_across_workers(self):
+        result = ParallelExecutor(jobs=4).map(lambda x: x * 10, list(range(23)))
+        assert result == [x * 10 for x in range(23)]
+
+    def test_closure_state_ships_to_workers(self):
+        offset = 1000
+        result = ParallelExecutor(jobs=2).map(lambda x: x + offset, [1, 2, 3])
+        assert result == [1001, 1002, 1003]
+
+    def test_worker_exception_carries_item_and_traceback(self):
+        def explode(x):
+            if x == 2:
+                raise ValueError("boom on two")
+            return x
+
+        with pytest.raises(WorkerError) as excinfo:
+            ParallelExecutor(jobs=2).map(explode, [0, 1, 2, 3])
+        assert excinfo.value.index == 2
+        assert excinfo.value.item == 2
+        assert "boom on two" in str(excinfo.value)
+        assert "ValueError" in excinfo.value.remote_traceback
+
+    def test_single_item_runs_serially(self):
+        # len(items) <= 1 short-circuits to the serial path: exceptions
+        # surface raw, not wrapped.
+        def explode(x):
+            raise ValueError("raw")
+
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=4).map(explode, [1])
+
+    def test_nested_map_degrades_to_serial(self):
+        outer = ParallelExecutor(jobs=2)
+
+        def run_inner(x):
+            # In a forked worker _IN_WORKER is set, so this inner pool
+            # must not fork again.
+            inner = ParallelExecutor(jobs=2).map(lambda y: y + x, [10, 20])
+            return sum(inner)
+
+        assert outer.map(run_inner, [1, 2]) == [32, 34]
+        assert executors_module._ACTIVE is None  # always disarmed after
+
+
+class TestSweepIntegration:
+    def test_sweep_uses_active_executor(self):
+        with use_runtime(jobs=3):
+            assert sweep([1, 2, 3, 4], lambda x: x * 2) == [2, 4, 6, 8]
+
+    def test_sweep_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sweep([], lambda x: x)
+
+    def test_replicate_names_offending_seed(self):
+        def run_one(seed):
+            if seed == 7:
+                raise RuntimeError("bad draw")
+            return float(seed)
+
+        with pytest.raises(ReplicationError, match="seed 7"):
+            replicate(4, run_one, base_seed=5)
+
+    def test_replicate_names_offending_seed_in_parallel(self):
+        def run_one(seed):
+            if seed == 2:
+                raise RuntimeError("bad draw")
+            return float(seed)
+
+        with use_runtime(jobs=2):
+            with pytest.raises(WorkerError, match="seed 2"):
+                replicate(4, run_one, base_seed=0)
+
+    def test_replicate_summary_matches_serial(self):
+        serial = replicate(6, lambda seed: float(seed * seed), base_seed=3)
+        with use_runtime(jobs=3):
+            parallel = replicate(6, lambda seed: float(seed * seed), base_seed=3)
+        assert serial == parallel

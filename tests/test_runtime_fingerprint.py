@@ -1,0 +1,60 @@
+"""Stable fingerprinting of simulation configurations."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.fingerprint import code_salt, stable_fingerprint
+from repro.sim.config import SimulationConfig
+
+
+def _config(**overrides):
+    defaults = dict(interarrival=4.0, case="rcad", n_packets=50, seed=0)
+    defaults.update(overrides)
+    return SimulationConfig.paper_baseline(**defaults)
+
+
+class TestStableFingerprint:
+    def test_deterministic_across_calls(self):
+        assert stable_fingerprint(_config()) == stable_fingerprint(_config())
+
+    def test_primitives_and_containers(self):
+        value = {"b": [1, 2.5, None], "a": (True, "x")}
+        assert stable_fingerprint(value) == stable_fingerprint(
+            {"a": (True, "x"), "b": [1, 2.5, None]}
+        )
+
+    def test_type_distinctions(self):
+        # 1 and 1.0 and True hash differently; lists and tuples differ.
+        assert stable_fingerprint(1) != stable_fingerprint(1.0)
+        assert stable_fingerprint(1) != stable_fingerprint(True)
+        assert stable_fingerprint([1]) != stable_fingerprint((1,))
+
+    def test_ndarray_contents_matter(self):
+        a = np.arange(4, dtype=np.float64)
+        b = np.arange(4, dtype=np.float64)
+        assert stable_fingerprint(a) == stable_fingerprint(b)
+        b[0] = -1.0
+        assert stable_fingerprint(a) != stable_fingerprint(b)
+
+    def test_seed_changes_fingerprint(self):
+        assert stable_fingerprint(_config(seed=0)) != stable_fingerprint(
+            _config(seed=1)
+        )
+
+    def test_config_parameter_changes_fingerprint(self):
+        base = stable_fingerprint(_config())
+        assert stable_fingerprint(_config(interarrival=6.0)) != base
+        assert stable_fingerprint(_config(case="unlimited")) != base
+        assert stable_fingerprint(_config(n_packets=51)) != base
+
+    def test_unhashable_objects_fail_loud(self):
+        with pytest.raises(TypeError):
+            stable_fingerprint(object())
+
+
+class TestCodeSalt:
+    def test_memoized_and_hexadecimal(self):
+        salt = code_salt()
+        assert salt == code_salt()
+        assert len(salt) == 64
+        int(salt, 16)  # raises if not hex
