@@ -6,6 +6,13 @@ parallelizes every experiment driver without per-driver changes.  The
 executor contract is an order-preserving map over independent items;
 simulations derive all randomness from their configuration's seed via
 named RNG streams, so results are identical under any worker count.
+
+When the active context carries a retry policy or a checkpoint
+journal, the sweep instead routes through
+:func:`repro.runtime.supervisor.supervised_map`, which adds per-item
+timeouts, bounded retries with quarantine, mid-sweep degradation to
+serial, and journal-backed resume -- still order-preserving, still
+bit-identical for every cell that succeeds.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from typing import Callable, Sequence, TypeVar
 
 from repro.analysis.stats import SummaryStats, summarize
 from repro.runtime.context import current_runtime
+from repro.runtime.supervisor import supervised_map
 
 __all__ = ["sweep", "replicate", "ReplicationError"]
 
@@ -43,7 +51,7 @@ def sweep(
     """
     if not parameter_values:
         raise ValueError("sweep needs at least one parameter value")
-    return current_runtime().executor.map(run_one, list(parameter_values))
+    return supervised_map(run_one, list(parameter_values), current_runtime())
 
 
 def replicate(
@@ -69,5 +77,16 @@ def replicate(
             raise ReplicationError(seed, exc) from exc
 
     seeds = [base_seed + i for i in range(n_replications)]
-    values = current_runtime().executor.map(run_guarded, seeds)
+    # The journal label must name the caller's fn, not the shared
+    # run_guarded wrapper, or distinct experiments replicating over the
+    # same seed range would collide on one journal file.
+    label = (
+        f"replicate:{getattr(run_one, '__module__', '?')}."
+        f"{getattr(run_one, '__qualname__', repr(run_one))}"
+    )
+    values = supervised_map(run_guarded, seeds, current_runtime(), label=label)
+    if any(value is None for value in values):
+        values = [value for value in values if value is not None]
+        if not values:
+            raise ReplicationError(base_seed, RuntimeError("every replication was quarantined"))
     return summarize(values, confidence=confidence)

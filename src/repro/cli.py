@@ -11,16 +11,23 @@ code.  Commands:
 * ``chaos`` -- the fault-injection sweep: delivery, privacy, latency
   and retransmission overhead vs fault intensity, drop-tail vs RCAD;
 * ``theory`` -- the Section 3 bound validations;
-* ``queueing`` -- the Section 4 closed-form validations.
+* ``queueing`` -- the Section 4 closed-form validations;
+* ``cache`` -- inspect and heal the on-disk result cache
+  (``stats`` / ``verify`` / ``purge`` / ``prune --max-bytes N``).
 
 Common options: ``--packets`` (default 1000, the paper's size; use a
 smaller value for a fast look), ``--seed``, and for ``fig2``/``fig3``
 ``--interarrivals`` as comma-separated values.
 
 Simulation commands also accept the runtime options ``--jobs N``
-(process-pool parallelism; results are bit-identical to serial),
-``--cache-dir PATH`` and ``--no-cache`` (the on-disk result cache is
-on by default; a cache-stats line is printed after the command).
+(process-pool parallelism; results are bit-identical to serial; 0
+means one worker per CPU), ``--cache-dir PATH`` and ``--no-cache``
+(the on-disk result cache is on by default; a cache-stats line is
+printed after the command), plus the resilience options ``--retries``,
+``--item-timeout``, ``--quarantine`` and ``--resume`` (see
+EXPERIMENTS.md "Fault-tolerant sweeps").  An interrupted sweep
+(SIGINT) flushes its checkpoint journal and prints the ``--resume``
+command that skips the already-completed cells.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ def _add_runtime_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the sweep (default 1 = serial; "
-        "results are bit-identical at any N)",
+        "0 = one per CPU; results are bit-identical at any N)",
     )
     sub.add_argument(
         "--no-cache", action="store_true",
@@ -50,6 +57,27 @@ def _add_runtime_options(sub: argparse.ArgumentParser) -> None:
         "--cache-dir", type=str, default=None, metavar="PATH",
         help="result cache location (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro/results)",
+    )
+    sub.add_argument(
+        "--retries", type=int, default=0, metavar="K",
+        help="retry a failing/hung sweep cell up to K extra times with "
+        "exponential backoff (default 0 = fail fast)",
+    )
+    sub.add_argument(
+        "--item-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock timeout; a hung worker is killed and "
+        "the cell retried/quarantined (parallel runs only)",
+    )
+    sub.add_argument(
+        "--quarantine", action="store_true",
+        help="complete the sweep even when cells fail permanently: "
+        "failed cells are quarantined and listed in a failure report "
+        "instead of aborting the run",
+    )
+    sub.add_argument(
+        "--resume", action="store_true",
+        help="resume from the checkpoint journal: cells completed by an "
+        "earlier (possibly interrupted) run are not recomputed",
     )
 
 
@@ -149,6 +177,38 @@ def build_parser() -> argparse.ArgumentParser:
             "--fast", action="store_true",
             help="reduced sample sizes / horizons for a quick look",
         )
+
+    cache = commands.add_parser(
+        "cache", help="inspect and heal the on-disk result cache"
+    )
+    cache.add_argument(
+        "--cache-dir", type=str, default=None, metavar="PATH",
+        help="cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/results)",
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_commands.add_parser(
+        "stats", help="entry/quarantine/journal counts and byte totals"
+    )
+    cache_commands.add_parser(
+        "verify",
+        help="checksum every entry; corrupt files are moved to "
+        "<dir>/quarantine, not deleted",
+    )
+    purge = cache_commands.add_parser(
+        "purge", help="delete every entry, quarantined file and journal"
+    )
+    purge.add_argument(
+        "--keep-quarantine", action="store_true",
+        help="leave quarantined files in place for inspection",
+    )
+    prune = cache_commands.add_parser(
+        "prune", help="evict oldest entries until the store fits a byte budget"
+    )
+    prune.add_argument(
+        "--max-bytes", type=int, required=True, metavar="N",
+        help="target size of the entry store in bytes",
+    )
     return parser
 
 
@@ -308,6 +368,52 @@ def _cmd_queueing(fast: bool) -> None:
     print(tree_occupancy_validation(n_packets=n_packets).render())
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runtime import ResultCache, default_cache_dir
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    journal_dir = cache.directory / "journal"
+
+    def journal_files() -> list:
+        if not journal_dir.is_dir():
+            return []
+        return sorted(p for p in journal_dir.iterdir() if p.is_file())
+
+    if args.cache_command == "stats":
+        print(cache.disk_stats().render())
+        files = journal_files()
+        total = sum(p.stat().st_size for p in files)
+        print(f"journal         : {len(files)} sweeps ({total} bytes)")
+    elif args.cache_command == "verify":
+        report = cache.verify()
+        print(report.render())
+        if report.quarantined:
+            print(f"(moved to {cache.quarantine_dir})")
+    elif args.cache_command == "purge":
+        removed, reclaimed = cache.purge(
+            include_quarantine=not args.keep_quarantine
+        )
+        journal_removed = 0
+        for path in journal_files():
+            reclaimed += path.stat().st_size
+            path.unlink()
+            journal_removed += 1
+        print(
+            f"purged {removed} cache files and {journal_removed} journal "
+            f"sweeps; reclaimed {reclaimed} bytes"
+        )
+    elif args.cache_command == "prune":
+        removed, reclaimed = cache.prune(args.max_bytes)
+        remaining = cache.disk_stats()
+        print(
+            f"pruned {removed} oldest entries; reclaimed {reclaimed} bytes; "
+            f"{remaining.entries} entries ({remaining.entry_bytes} bytes) remain"
+        )
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown cache command {args.cache_command!r}")
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> None:
     if args.command == "fig1":
         _cmd_fig1()
@@ -330,21 +436,56 @@ def _dispatch(args: argparse.Namespace) -> None:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command not in _SIMULATION_COMMANDS:
         _dispatch(args)
         return 0
 
-    from repro.runtime import ResultCache, default_cache_dir, use_runtime
+    import os
 
-    if args.jobs < 1:
+    from repro.runtime import (
+        ResultCache,
+        RetryPolicy,
+        default_cache_dir,
+        use_runtime,
+    )
+
+    if args.jobs < 0:
         raise SystemExit(f"--jobs must be at least 1, got {args.jobs}")
+    jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
+    if args.retries < 0:
+        raise SystemExit(f"--retries must be non-negative, got {args.retries}")
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    with use_runtime(jobs=args.jobs, cache=cache):
-        _dispatch(args)
+    if args.resume and cache is None:
+        raise SystemExit("--resume needs the result cache (drop --no-cache)")
+    retry = RetryPolicy(
+        max_attempts=args.retries + 1,
+        timeout=args.item_timeout,
+        on_failure="quarantine" if args.quarantine else "raise",
+    )
+    journal_dir = cache.directory / "journal" if cache is not None else None
+    try:
+        with use_runtime(
+            jobs=jobs,
+            cache=cache,
+            retry=retry,
+            journal_dir=journal_dir,
+            resume=args.resume,
+        ) as context:
+            _dispatch(args)
+    except KeyboardInterrupt:
+        # The supervisor already flushed the journal and printed the
+        # resume hint; exit with the conventional SIGINT code.
+        return 130
     if cache is not None:
         print(cache.stats.render())
+    if journal_dir is not None:
+        print(context.journal_stats.render())
+    for report in context.failure_reports:
+        print(report.render())
     return 0
 
 

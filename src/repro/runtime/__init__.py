@@ -22,10 +22,24 @@ per-cell simulator invocation.  This package instruments both:
 * :mod:`repro.runtime.kernels` -- numpy batch kernels for the hot
   scoring paths (adversary estimation, the Erlang-B recursion); the
   scalar implementations remain in place as the oracle the equivalence
-  tests check against.
+  tests check against;
+* :mod:`repro.runtime.supervisor` -- the fault-tolerance layer: per-
+  item wall-clock timeouts, crash detection with suspect probing,
+  bounded retries with exponential backoff, quarantine of repeatedly
+  failing cells (:class:`FailureReport`), and mid-sweep degradation to
+  serial when the pool cannot be rebuilt;
+* :mod:`repro.runtime.journal` -- the append-only checkpoint journal
+  (JSONL of completed cell results, checksummed line-by-line) that
+  makes interrupted sweeps resumable via ``--resume``.
 """
 
-from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runtime.cache import (
+    CacheDiskStats,
+    CacheStats,
+    CacheVerifyReport,
+    ResultCache,
+    default_cache_dir,
+)
 from repro.runtime.context import (
     RuntimeContext,
     current_runtime,
@@ -39,9 +53,19 @@ from repro.runtime.executors import (
     WorkerError,
 )
 from repro.runtime.fingerprint import code_salt, stable_fingerprint
+from repro.runtime.journal import JournalStats, SweepJournal, sweep_fingerprint
+from repro.runtime.supervisor import (
+    FailureRecord,
+    FailureReport,
+    RetryPolicy,
+    Supervisor,
+    supervised_map,
+)
 
 __all__ = [
+    "CacheDiskStats",
     "CacheStats",
+    "CacheVerifyReport",
     "ResultCache",
     "default_cache_dir",
     "RuntimeContext",
@@ -54,4 +78,12 @@ __all__ = [
     "WorkerError",
     "code_salt",
     "stable_fingerprint",
+    "JournalStats",
+    "SweepJournal",
+    "sweep_fingerprint",
+    "FailureRecord",
+    "FailureReport",
+    "RetryPolicy",
+    "Supervisor",
+    "supervised_map",
 ]

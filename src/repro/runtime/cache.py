@@ -6,22 +6,32 @@ stable fingerprint of ``(format version, code salt, SimulationConfig)``
 -- see :mod:`repro.runtime.fingerprint`.  Because the configuration
 includes the seed and the salt covers the simulator's source, a hit is
 guaranteed to be the byte-identical result the simulator would have
-produced.
+produced.  On disk every entry is framed as ``magic || sha256(payload)
+|| payload`` so bit rot and truncation are detected by checksum before
+any unpickling happens.
 
 Failure policy: a corrupted or truncated entry is *a miss, not a
-crash* -- it is counted, deleted and recomputed.  Writes go through a
-temp file plus :func:`os.replace` so a killed process can never leave a
-half-written entry behind that parses.
+crash* -- it is counted, moved into ``<dir>/quarantine/`` (preserved
+for inspection, never silently destroyed) and recomputed.  Writes go
+through a temp file plus :func:`os.replace` so a killed process can
+never leave a half-written entry behind that parses.
+
+Beyond get/put the cache exposes its own maintenance surface (the
+``repro cache`` CLI subcommand): :meth:`ResultCache.disk_stats`,
+:meth:`ResultCache.verify` (checksum every entry, quarantining the bad
+ones), :meth:`ResultCache.purge` and :meth:`ResultCache.prune`
+(oldest-first eviction down to a byte budget).
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 from repro.runtime.fingerprint import (
     CACHE_FORMAT_VERSION,
@@ -33,7 +43,33 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.config import SimulationConfig
     from repro.sim.results import SimulationResult
 
-__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+__all__ = [
+    "CacheStats",
+    "CacheDiskStats",
+    "CacheVerifyReport",
+    "ResultCache",
+    "default_cache_dir",
+]
+
+#: On-disk entry framing: magic + 32-byte SHA-256 of the payload.
+_ENTRY_MAGIC = b"RPRC2\n"
+_DIGEST_SIZE = hashlib.sha256().digest_size
+
+
+def _frame_payload(payload: bytes) -> bytes:
+    return _ENTRY_MAGIC + hashlib.sha256(payload).digest() + payload
+
+
+def _unframe_payload(blob: bytes) -> bytes | None:
+    """The checksum-verified payload, or None when the frame is bad."""
+    header_size = len(_ENTRY_MAGIC) + _DIGEST_SIZE
+    if len(blob) < header_size or not blob.startswith(_ENTRY_MAGIC):
+        return None
+    digest = blob[len(_ENTRY_MAGIC):header_size]
+    payload = blob[header_size:]
+    if hashlib.sha256(payload).digest() != digest:
+        return None
+    return payload
 
 
 def default_cache_dir() -> Path:
@@ -115,29 +151,50 @@ class ResultCache:
     def _path_for(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.pkl"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.directory / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside instead of silently destroying it."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:  # pragma: no cover - cross-device/racy fallback
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _load_entry(self, path: Path) -> "tuple[float, SimulationResult] | None":
+        """Checksum-verify and unpickle one entry file, or None if bad."""
+        try:
+            payload = _unframe_payload(path.read_bytes())
+            if payload is None:
+                return None
+            elapsed, result = pickle.loads(payload)
+            return float(elapsed), result
+        except Exception:
+            return None
+
     # ------------------------------------------------------------------
     def get(self, config: "SimulationConfig") -> "SimulationResult | None":
         """The stored result for ``config``, or None on a miss.
 
-        A corrupted entry (unpicklable, wrong shape) is deleted and
-        reported as a miss, never raised.
+        A corrupted entry (bad checksum, unpicklable, wrong shape) is
+        quarantined and reported as a miss, never raised.
         """
         path = self._path_for(self.key_for(config))
         if not path.is_file():
             self.stats.misses += 1
             return None
-        try:
-            with path.open("rb") as handle:
-                elapsed, result = pickle.load(handle)
-            elapsed = float(elapsed)
-        except Exception:
+        entry = self._load_entry(path)
+        if entry is None:
             self.stats.corrupt += 1
             self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:  # pragma: no cover - racy cleanup is best-effort
-                pass
+            self._quarantine(path)
             return None
+        elapsed, result = entry
         self.stats.hits += 1
         self.stats.seconds_saved += elapsed
         return result
@@ -148,13 +205,16 @@ class ResultCache:
         """Store ``result`` (with its compute time) under ``config``'s key."""
         path = self._path_for(self.key_for(config))
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(
+            (float(elapsed), result), protocol=pickle.HIGHEST_PROTOCOL
+        )
         # Atomic publish: concurrent workers may race on the same key,
         # but every one of them writes the identical bytes-for-bytes
         # payload, so last-replace-wins is harmless.
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump((float(elapsed), result), handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(_frame_payload(payload))
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -165,5 +225,116 @@ class ResultCache:
         self.stats.stores += 1
         self.stats.seconds_computed += elapsed
 
+    # ------------------------------------------------------------------
+    # Maintenance surface (the ``repro cache`` subcommand).
+    def iter_entry_paths(self) -> Iterator[Path]:
+        """Every entry file, in stable (shard, name) order."""
+        if not self.directory.is_dir():
+            return
+        for shard in sorted(self.directory.iterdir()):
+            if shard.is_dir() and len(shard.name) == 2:
+                yield from sorted(shard.glob("*.pkl"))
+
+    def disk_stats(self) -> "CacheDiskStats":
+        """Entry/quarantine counts and byte totals from a directory walk."""
+        stats = CacheDiskStats(directory=self.directory)
+        for path in self.iter_entry_paths():
+            stats.entries += 1
+            stats.entry_bytes += path.stat().st_size
+        if self.quarantine_dir.is_dir():
+            for path in sorted(self.quarantine_dir.iterdir()):
+                if path.is_file():
+                    stats.quarantined += 1
+                    stats.quarantined_bytes += path.stat().st_size
+        return stats
+
+    def verify(self) -> "CacheVerifyReport":
+        """Checksum-and-unpickle every entry, quarantining the bad ones."""
+        report = CacheVerifyReport()
+        for path in list(self.iter_entry_paths()):
+            report.checked += 1
+            if self._load_entry(path) is None:
+                report.quarantined.append(path.name)
+                self._quarantine(path)
+        return report
+
+    def purge(self, include_quarantine: bool = True) -> tuple[int, int]:
+        """Delete all entries (and quarantined files); returns
+        ``(files_removed, bytes_reclaimed)``."""
+        removed = reclaimed = 0
+        targets = list(self.iter_entry_paths())
+        if include_quarantine and self.quarantine_dir.is_dir():
+            targets.extend(p for p in sorted(self.quarantine_dir.iterdir()) if p.is_file())
+        for path in targets:
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:  # pragma: no cover - racy cleanup is best-effort
+                continue
+            removed += 1
+            reclaimed += size
+        return removed, reclaimed
+
+    def prune(self, max_bytes: int) -> tuple[int, int]:
+        """Evict oldest entries (by mtime) until the store fits
+        ``max_bytes``; returns ``(files_removed, bytes_reclaimed)``."""
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        entries = []
+        total = 0
+        for path in self.iter_entry_paths():
+            stat = path.stat()
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort(key=lambda e: (e[0], str(e[2])))
+        removed = reclaimed = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racy cleanup is best-effort
+                continue
+            total -= size
+            removed += 1
+            reclaimed += size
+        return removed, reclaimed
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultCache({str(self.directory)!r}, salt={self.salt[:8]}...)"
+
+
+@dataclass
+class CacheDiskStats:
+    """What is actually on disk (as opposed to the session counters)."""
+
+    directory: Path
+    entries: int = 0
+    entry_bytes: int = 0
+    quarantined: int = 0
+    quarantined_bytes: int = 0
+
+    def render(self) -> str:
+        return (
+            f"cache directory : {self.directory}\n"
+            f"entries         : {self.entries} ({self.entry_bytes} bytes)\n"
+            f"quarantined     : {self.quarantined} ({self.quarantined_bytes} bytes)"
+        )
+
+
+@dataclass
+class CacheVerifyReport:
+    """Outcome of one :meth:`ResultCache.verify` pass."""
+
+    checked: int = 0
+    quarantined: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> int:
+        return self.checked - len(self.quarantined)
+
+    def render(self) -> str:
+        line = f"verified {self.checked} entries: {self.ok} ok, {len(self.quarantined)} quarantined"
+        for name in self.quarantined:
+            line += f"\n  quarantined {name}"
+        return line

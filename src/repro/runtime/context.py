@@ -22,6 +22,8 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.runtime.cache import ResultCache
 from repro.runtime.executors import Executor, ParallelExecutor, SerialExecutor
+from repro.runtime.journal import JournalStats
+from repro.runtime.supervisor import FailureReport, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.config import SimulationConfig
@@ -51,6 +53,14 @@ class RuntimeContext:
     executor: Executor = field(default_factory=SerialExecutor)
     cache: ResultCache | None = None
     stats: RuntimeStats = field(default_factory=RuntimeStats)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    journal_dir: Path | None = None
+    """Checkpoint-journal root; None disables journaling entirely."""
+    resume: bool = False
+    """Load completed cells from the journal instead of recomputing."""
+    journal_stats: JournalStats = field(default_factory=JournalStats)
+    failure_reports: list[FailureReport] = field(default_factory=list)
+    """One report per sweep that quarantined cells or degraded."""
 
 
 _DEFAULT = RuntimeContext()
@@ -68,6 +78,9 @@ def use_runtime(
     cache: ResultCache | None = None,
     cache_dir: str | Path | None = None,
     chunk_size: int | None = None,
+    retry: RetryPolicy | None = None,
+    journal_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> Iterator[RuntimeContext]:
     """Activate an executor/cache pairing for the enclosed experiments.
 
@@ -82,6 +95,15 @@ def use_runtime(
         when ``cache`` is given).
     chunk_size:
         Forwarded to :class:`ParallelExecutor`.
+    retry:
+        A :class:`~repro.runtime.supervisor.RetryPolicy`; the default
+        (None) keeps the unsupervised fail-fast behaviour.
+    journal_dir:
+        Checkpoint-journal root.  Sweeps append completed cells here
+        so an interrupted run can be resumed; None disables journaling.
+    resume:
+        Load journaled cells instead of recomputing them (needs
+        ``journal_dir``).
     """
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
@@ -90,7 +112,13 @@ def use_runtime(
         executor = SerialExecutor()
     else:
         executor = ParallelExecutor(jobs, chunk_size=chunk_size)
-    context = RuntimeContext(executor=executor, cache=cache)
+    context = RuntimeContext(
+        executor=executor,
+        cache=cache,
+        retry=retry if retry is not None else RetryPolicy(),
+        journal_dir=Path(journal_dir) if journal_dir is not None else None,
+        resume=resume,
+    )
     _STACK.append(context)
     try:
         yield context

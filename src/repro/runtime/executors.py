@@ -26,6 +26,7 @@ from __future__ import annotations
 import abc
 import math
 import multiprocessing
+import sys
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
@@ -36,11 +37,36 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+def _serial_repro_command() -> str:
+    """A ready-to-paste ``repro ... --jobs 1`` serial reproduction.
+
+    Best effort: rebuilt from ``sys.argv`` with any ``--jobs`` option
+    replaced, falling back to a template outside a CLI invocation.
+    """
+    arguments = []
+    skip_next = False
+    for argument in sys.argv[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if argument == "--jobs":
+            skip_next = True
+            continue
+        if argument.startswith("--jobs="):
+            continue
+        arguments.append(argument)
+    if not arguments:
+        return "repro <command> --jobs 1"
+    return "repro " + " ".join(arguments) + " --jobs 1"
+
+
 class WorkerError(RuntimeError):
     """A sweep item failed inside a pool worker.
 
     Carries the item's index and value plus the worker-side traceback
-    text, so the failing cell can be reproduced serially.
+    text, so the failing cell can be reproduced serially.  Instances
+    pickle cleanly (``__reduce__``), so the index/item survive a trip
+    through a result queue or a crash report.
     """
 
     def __init__(
@@ -48,11 +74,20 @@ class WorkerError(RuntimeError):
     ) -> None:
         super().__init__(
             f"sweep item {index} ({item!r}) failed in worker: {message}\n"
+            f"reproduce serially with: {_serial_repro_command()} "
+            f"(fails at sweep item {index})\n"
             f"--- worker traceback ---\n{remote_traceback}"
         )
         self.index = index
         self.item = item
+        self.message = message
         self.remote_traceback = remote_traceback
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.index, self.item, self.message, self.remote_traceback),
+        )
 
 
 class Executor(abc.ABC):

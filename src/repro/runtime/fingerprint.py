@@ -31,7 +31,9 @@ import numpy as np
 __all__ = ["stable_fingerprint", "code_salt", "CACHE_FORMAT_VERSION"]
 
 #: Bump to invalidate every existing cache entry (format changes).
-CACHE_FORMAT_VERSION = 1
+#: v2: entries framed as ``magic || sha256(payload) || payload`` so
+#: corruption is caught by checksum before unpickling.
+CACHE_FORMAT_VERSION = 2
 
 #: Subpackages whose source participates in the code-version salt --
 #: everything that can change what a simulation produces.  Analysis,

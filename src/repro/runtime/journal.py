@@ -1,0 +1,173 @@
+"""Append-only checkpoint journal for resumable sweeps.
+
+Every supervised sweep writes one JSONL file next to the result cache
+(``<cache_dir>/journal/<sweep_id>.jsonl``): one line per completed cell
+carrying the cell's index, its item fingerprint, and the pickled result
+guarded by a SHA-256 checksum.  A re-run with ``--resume`` loads the
+journal, verifies every line, and hands the already-completed cells
+back to :func:`repro.runtime.supervisor.supervised_map` so only the
+missing cells are recomputed.
+
+Failure policy mirrors the result cache: a torn or bit-rotted line
+(a SIGINT can land mid-``write``) is *skipped and counted*, never
+raised -- the cell it described is simply recomputed.  The journal file
+is identified by :func:`sweep_fingerprint`, which covers the sweep
+label, every item, and the simulation code salt, so a changed sweep
+shape or edited simulator code can never resume stale cells.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO
+
+from repro.runtime.fingerprint import code_salt, stable_fingerprint
+
+__all__ = ["JOURNAL_VERSION", "JournalStats", "SweepJournal", "sweep_fingerprint"]
+
+#: Bump to orphan every existing journal file (format changes).
+JOURNAL_VERSION = 1
+
+
+def sweep_fingerprint(label: str, items: list) -> str:
+    """Identity of one sweep: label + every item + simulation code salt.
+
+    Raises ``TypeError`` (propagated from ``stable_fingerprint``) when an
+    item is not fingerprintable; callers treat that as "this sweep
+    cannot be journaled" rather than an error.
+    """
+    return stable_fingerprint(
+        (JOURNAL_VERSION, code_salt(), label, [stable_fingerprint(i) for i in items])
+    )
+
+
+@dataclass
+class JournalStats:
+    """Per-context journal counters (the CLI's ``journal:`` line)."""
+
+    resumed: int = 0
+    recorded: int = 0
+    corrupt: int = 0
+
+    def render(self) -> str:
+        return (
+            f"journal: {self.resumed} resumed, {self.recorded} recorded, "
+            f"{self.corrupt} corrupt"
+        )
+
+
+class SweepJournal:
+    """One sweep's append-only completion log.
+
+    Parameters
+    ----------
+    directory:
+        Journal root (created lazily on first record).
+    sweep_id:
+        Output of :func:`sweep_fingerprint` for this sweep.
+    n_items:
+        Sweep size; used to reject out-of-range indices on load.
+    resume:
+        When True the existing file is kept and appended to; when False
+        a fresh run truncates it (its cells are being recomputed).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        sweep_id: str,
+        n_items: int,
+        resume: bool = False,
+    ) -> None:
+        self.directory = Path(directory)
+        self.sweep_id = sweep_id
+        self.path = self.directory / f"{sweep_id}.jsonl"
+        self.n_items = int(n_items)
+        self.resume = resume
+        self.corrupt_lines = 0
+        self._handle: IO[str] | None = None
+
+    # ------------------------------------------------------------------
+    def load(self) -> dict[int, object]:
+        """Verified completed cells (``index -> result``) from disk.
+
+        Lines that fail JSON parsing, checksum verification, index
+        bounds, or unpickling are counted in ``corrupt_lines`` and
+        skipped.  Later lines win on duplicate indices (a re-run may
+        have re-recorded a cell).
+        """
+        results: dict[int, object] = {}
+        if not self.path.is_file():
+            return results
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            self.corrupt_lines += 1
+            return results
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                if entry.get("kind") != "cell":
+                    continue  # header / future record kinds
+                index = int(entry["index"])
+                if not 0 <= index < self.n_items:
+                    raise ValueError(f"index {index} out of range")
+                data = base64.b64decode(entry["data"], validate=True)
+                if hashlib.sha256(data).hexdigest() != entry["sha"]:
+                    raise ValueError("checksum mismatch")
+                results[index] = pickle.loads(data)
+            except Exception:
+                self.corrupt_lines += 1
+        return results
+
+    # ------------------------------------------------------------------
+    def _open(self) -> IO[str]:
+        if self._handle is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fresh = not (self.resume and self.path.exists())
+            self._handle = self.path.open("a" if not fresh else "w", encoding="utf-8")
+            if fresh:
+                header = {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "sweep": self.sweep_id,
+                    "n_items": self.n_items,
+                }
+                self._handle.write(json.dumps(header) + "\n")
+                self._handle.flush()
+        return self._handle
+
+    def record(self, index: int, value: object) -> None:
+        """Append one completed cell; flushed line-by-line so a crash
+        loses at most the cell being written."""
+        try:
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return  # unpicklable result: cell simply is not resumable
+        entry = {
+            "kind": "cell",
+            "index": int(index),
+            "sha": hashlib.sha256(data).hexdigest(),
+            "data": base64.b64encode(data).decode("ascii"),
+        }
+        handle = self._open()
+        handle.write(json.dumps(entry) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepJournal({str(self.path)!r}, n_items={self.n_items})"

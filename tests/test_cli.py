@@ -110,6 +110,141 @@ class TestCommands:
         assert (tmp_path / "fig2.csv.latency.csv").exists()
 
 
+class TestJobsOption:
+    def test_negative_jobs_rejected_with_existing_message(self, capsys):
+        with pytest.raises(SystemExit, match="--jobs must be at least 1, got -2"):
+            main(["fig2", "--jobs", "-2"])
+
+    def test_jobs_zero_means_auto(self, monkeypatch, tmp_path, capsys):
+        import os
+
+        seen = {}
+        import repro.runtime as runtime_module
+
+        real_use_runtime = runtime_module.use_runtime
+
+        def spy_use_runtime(jobs=1, **kwargs):
+            seen["jobs"] = jobs
+            return real_use_runtime(jobs=jobs, **kwargs)
+
+        monkeypatch.setattr(runtime_module, "use_runtime", spy_use_runtime)
+        assert main([
+            "fig2", "--packets", "30", "--interarrivals", "20",
+            "--jobs", "0", "--cache-dir", str(tmp_path),
+        ]) == 0
+        assert seen["jobs"] == (os.cpu_count() or 1)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SystemExit, match="--retries must be non-negative"):
+            main(["fig2", "--retries", "-1"])
+
+    def test_resume_requires_cache(self):
+        with pytest.raises(SystemExit, match="--resume needs the result cache"):
+            main(["fig2", "--resume", "--no-cache"])
+
+
+class TestResumeOption:
+    def test_resumed_rerun_reports_journal_hits(self, tmp_path, capsys):
+        argv = [
+            "fig2", "--packets", "40", "--interarrivals", "4,20",
+            "--jobs", "2", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "journal: 0 resumed, 6 recorded" in first
+
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "journal: 6 resumed, 0 recorded" in second
+        assert "cache: 0 hits, 0 misses" in second  # cells never recomputed
+
+        def strip(text):
+            return [
+                line for line in text.splitlines()
+                if not line.startswith(("cache:", "journal:"))
+            ]
+
+        assert strip(first) == strip(second)
+
+
+class TestCacheSubcommand:
+    def _warm(self, tmp_path):
+        main([
+            "fig2", "--packets", "30", "--interarrivals", "20",
+            "--cache-dir", str(tmp_path),
+        ])
+
+    def test_stats_counts_entries_and_journal(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries         : 3" in out
+        assert "quarantined     : 0" in out
+        assert "journal         : 1 sweeps" in out
+
+    def test_verify_moves_corrupt_entry_to_quarantine(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        capsys.readouterr()
+        from repro.runtime import ResultCache
+
+        victim = next(ResultCache(tmp_path).iter_entry_paths())
+        victim.write_bytes(b"bit rot")
+        assert main(["cache", "--cache-dir", str(tmp_path), "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verified 3 entries: 2 ok, 1 quarantined" in out
+        assert (tmp_path / "quarantine" / victim.name).exists()
+
+    def test_purge_reclaims_space_and_journal(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path), "purge"]) == 0
+        out = capsys.readouterr().out
+        assert "purged 3 cache files and 1 journal sweeps" in out
+        capsys.readouterr()
+        main(["cache", "--cache-dir", str(tmp_path), "stats"])
+        assert "entries         : 0" in capsys.readouterr().out
+
+    def test_prune_respects_byte_budget(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "cache", "--cache-dir", str(tmp_path), "prune", "--max-bytes", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 3 oldest entries" in out
+        assert "0 entries (0 bytes) remain" in out
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
+
+class TestResilienceOptions:
+    def test_flags_map_to_retry_policy_and_journal(self, monkeypatch, tmp_path):
+        import repro.runtime as runtime_module
+
+        seen = {}
+        real_use_runtime = runtime_module.use_runtime
+
+        def spy_use_runtime(jobs=1, **kwargs):
+            seen.update(kwargs, jobs=jobs)
+            return real_use_runtime(jobs=jobs, **kwargs)
+
+        monkeypatch.setattr(runtime_module, "use_runtime", spy_use_runtime)
+        assert main([
+            "fig2", "--packets", "30", "--interarrivals", "20",
+            "--cache-dir", str(tmp_path),
+            "--retries", "2", "--item-timeout", "5", "--quarantine",
+        ]) == 0
+        policy = seen["retry"]
+        assert policy.max_attempts == 3  # --retries counts extra attempts
+        assert policy.timeout == 5.0
+        assert policy.on_failure == "quarantine"
+        assert seen["journal_dir"] == tmp_path / "journal"
+        assert seen["resume"] is False
+
+
 class TestChaosCommand:
     def test_chaos_small(self, capsys):
         assert main([

@@ -2,6 +2,8 @@
 
 import pickle
 
+import pytest
+
 from repro.cli import main
 from repro.runtime import ResultCache, run_simulation, use_runtime
 from repro.sim.config import SimulationConfig
@@ -56,7 +58,9 @@ class TestResultCache:
 
         assert cache.get(config) is None
         assert cache.stats.corrupt == 1
-        assert not path.exists()  # the bad entry is purged
+        assert not path.exists()  # the bad entry is out of the store
+        # ... but preserved for inspection, not silently destroyed:
+        assert (cache.quarantine_dir / path.name).read_bytes() == b"not a pickle"
         # a fresh put/get cycle works again
         cache.put(config, SensorNetworkSimulator(config).run(), elapsed=0.1)
         assert cache.get(config) is not None
@@ -69,6 +73,107 @@ class TestResultCache:
         path.write_bytes(pickle.dumps("just one string"))
         assert cache.get(config) is None
         assert cache.stats.corrupt == 1
+
+    def test_bit_flip_is_caught_by_checksum(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = _config()
+        cache.put(config, SensorNetworkSimulator(config).run(), elapsed=0.1)
+        path = cache._path_for(cache.key_for(config))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # one flipped byte mid-payload
+        path.write_bytes(bytes(blob))
+
+        assert cache.get(config) is None
+        assert cache.stats.corrupt == 1
+        assert (cache.quarantine_dir / path.name).exists()
+
+
+class TestCacheMaintenance:
+    def _populate(self, tmp_path, n=3):
+        cache = ResultCache(tmp_path)
+        result = SensorNetworkSimulator(_config()).run()
+        for seed in range(n):
+            cache.put(_config(seed=seed), result, elapsed=0.1)
+        return cache
+
+    def test_disk_stats_counts_entries_and_quarantine(self, tmp_path):
+        cache = self._populate(tmp_path, n=3)
+        stats = cache.disk_stats()
+        assert stats.entries == 3
+        assert stats.entry_bytes > 0
+        assert stats.quarantined == 0
+
+        # Corrupt one entry and read it: it moves to quarantine.
+        victim_seed = 1
+        victim = cache._path_for(cache.key_for(_config(seed=victim_seed)))
+        victim.write_bytes(b"garbage")
+        assert cache.get(_config(seed=victim_seed)) is None
+        stats = cache.disk_stats()
+        assert stats.entries == 2
+        assert stats.quarantined == 1
+
+    def test_verify_quarantines_corrupt_entries(self, tmp_path):
+        cache = self._populate(tmp_path, n=3)
+        victim = list(cache.iter_entry_paths())[1]
+        victim.write_bytes(b"bit rot")
+
+        report = cache.verify()
+        assert report.checked == 3
+        assert report.ok == 2
+        assert report.quarantined == [victim.name]
+        assert (cache.quarantine_dir / victim.name).exists()
+        # A second verify pass is clean.
+        second = cache.verify()
+        assert second.checked == 2 and second.quarantined == []
+
+    def test_purge_reclaims_everything(self, tmp_path):
+        cache = self._populate(tmp_path, n=3)
+        list(cache.iter_entry_paths())[0].write_bytes(b"bad")
+        cache.verify()  # one entry quarantined
+
+        removed, reclaimed = cache.purge()
+        assert removed == 3  # 2 entries + 1 quarantined file
+        assert reclaimed > 0
+        assert cache.disk_stats().entries == 0
+        assert cache.disk_stats().quarantined == 0
+
+    def test_purge_can_keep_quarantine(self, tmp_path):
+        cache = self._populate(tmp_path, n=2)
+        list(cache.iter_entry_paths())[0].write_bytes(b"bad")
+        cache.verify()
+        cache.purge(include_quarantine=False)
+        assert cache.disk_stats().entries == 0
+        assert cache.disk_stats().quarantined == 1
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        cache = self._populate(tmp_path, n=3)
+        paths = list(cache.iter_entry_paths())
+        # Make ages unambiguous regardless of write order.
+        now = time.time()
+        by_age = sorted(paths, key=str)
+        for rank, path in enumerate(by_age):
+            os.utime(path, (now - 100 + rank, now - 100 + rank))
+        total = sum(p.stat().st_size for p in paths)
+        one_size = paths[0].stat().st_size
+
+        removed, reclaimed = cache.prune(max_bytes=total - 1)
+        assert removed == 1
+        assert reclaimed == one_size
+        assert not by_age[0].exists()  # the oldest went first
+        assert by_age[1].exists() and by_age[2].exists()
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path).prune(-1)
+
+    def test_prune_to_zero_clears_entries(self, tmp_path):
+        cache = self._populate(tmp_path, n=2)
+        removed, _ = cache.prune(0)
+        assert removed == 2
+        assert cache.disk_stats().entries == 0
 
 
 class TestRunSimulationCaching:

@@ -1,5 +1,7 @@
 """Executor contract: ordering, chunking, failure propagation."""
 
+import pickle
+
 import pytest
 
 from repro.analysis.sweep import ReplicationError, replicate, sweep
@@ -75,6 +77,83 @@ class TestParallelExecutor:
 
         assert outer.map(run_inner, [1, 2]) == [32, 34]
         assert executors_module._ACTIVE is None  # always disarmed after
+
+
+class TestWorkerErrorContract:
+    def test_message_carries_serial_repro_command(self):
+        error = WorkerError(3, ("rcad", 2.0), "ValueError('x')", "tb")
+        assert "--jobs 1" in str(error)
+        assert "repro" in str(error)
+        assert "sweep item 3" in str(error)
+
+    def test_repro_command_rewrites_jobs_from_argv(self, monkeypatch):
+        monkeypatch.setattr(
+            "sys.argv", ["repro", "fig2", "--jobs", "8", "--packets", "50"]
+        )
+        assert (
+            executors_module._serial_repro_command()
+            == "repro fig2 --packets 50 --jobs 1"
+        )
+        monkeypatch.setattr("sys.argv", ["repro", "chaos", "--jobs=4"])
+        assert executors_module._serial_repro_command() == "repro chaos --jobs 1"
+
+    def test_repro_command_without_cli_context(self, monkeypatch):
+        monkeypatch.setattr("sys.argv", ["pytest"])
+        assert executors_module._serial_repro_command() == "repro <command> --jobs 1"
+
+    def test_index_and_item_round_trip_through_pickle(self):
+        original = WorkerError(7, {"case": "rcad", "load": 2.0}, "boom", "trace")
+        restored = pickle.loads(pickle.dumps(original))
+        assert isinstance(restored, WorkerError)
+        assert restored.index == 7
+        assert restored.item == {"case": "rcad", "load": 2.0}
+        assert restored.message == "boom"
+        assert restored.remote_traceback == "trace"
+        assert "sweep item 7" in str(restored)
+
+
+class TestForkUnavailableDegradation:
+    def test_map_runs_serially_without_fork(self, monkeypatch):
+        # Platform without fork (e.g. Windows/macOS-spawn): the parallel
+        # executor must quietly take the serial path -- same results, no
+        # pool construction at all.
+        monkeypatch.setattr(
+            "multiprocessing.get_all_start_methods", lambda: ["spawn"]
+        )
+
+        def explode_if_pooled(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor must not be built")
+
+        monkeypatch.setattr(
+            executors_module, "ProcessPoolExecutor", explode_if_pooled
+        )
+        result = ParallelExecutor(jobs=4).map(lambda x: x * 3, [1, 2, 3])
+        assert result == [3, 6, 9]
+
+    def test_map_runs_serially_inside_worker(self, monkeypatch):
+        # The _IN_WORKER guard: a sweep dispatched from within a forked
+        # worker must not open a nested pool (fork bomb).
+        monkeypatch.setattr(executors_module, "_IN_WORKER", True)
+
+        def explode_if_pooled(*args, **kwargs):
+            raise AssertionError("nested pool must not be built")
+
+        monkeypatch.setattr(
+            executors_module, "ProcessPoolExecutor", explode_if_pooled
+        )
+        result = ParallelExecutor(jobs=4).map(lambda x: x + 1, [1, 2, 3])
+        assert result == [2, 3, 4]
+
+    def test_exceptions_surface_raw_on_serial_fallback(self, monkeypatch):
+        monkeypatch.setattr(
+            "multiprocessing.get_all_start_methods", lambda: ["spawn"]
+        )
+
+        def explode(x):
+            raise ValueError("raw, not WorkerError")
+
+        with pytest.raises(ValueError, match="raw"):
+            ParallelExecutor(jobs=4).map(explode, [1, 2])
 
 
 class TestSweepIntegration:

@@ -1,0 +1,164 @@
+"""Checkpoint journal: record, verified load, resume, self-healing."""
+
+import json
+
+import pytest
+
+from repro.analysis.sweep import sweep
+from repro.runtime import (
+    RetryPolicy,
+    SweepJournal,
+    sweep_fingerprint,
+    use_runtime,
+)
+
+
+class TestSweepFingerprint:
+    def test_stable_across_calls(self):
+        a = sweep_fingerprint("label", [1, 2, 3])
+        assert a == sweep_fingerprint("label", [1, 2, 3])
+
+    def test_sensitive_to_label_and_items(self):
+        base = sweep_fingerprint("label", [1, 2, 3])
+        assert sweep_fingerprint("other", [1, 2, 3]) != base
+        assert sweep_fingerprint("label", [1, 2]) != base
+
+    def test_unfingerprintable_items_raise(self):
+        with pytest.raises(TypeError):
+            sweep_fingerprint("label", [lambda x: x])
+
+
+class TestSweepJournal:
+    def test_round_trip(self, tmp_path):
+        journal = SweepJournal(tmp_path, "abc123", n_items=3)
+        journal.record(0, {"value": 1.5})
+        journal.record(2, (4, 5))
+        journal.close()
+
+        loaded = SweepJournal(tmp_path, "abc123", n_items=3, resume=True).load()
+        assert loaded == {0: {"value": 1.5}, 2: (4, 5)}
+
+    def test_torn_line_is_skipped_not_raised(self, tmp_path):
+        journal = SweepJournal(tmp_path, "torn", n_items=2)
+        journal.record(0, "good")
+        journal.close()
+        with journal.path.open("a") as handle:
+            handle.write('{"kind": "cell", "index": 1, "sha": "tr')  # SIGINT mid-write
+
+        reloaded = SweepJournal(tmp_path, "torn", n_items=2, resume=True)
+        assert reloaded.load() == {0: "good"}
+        assert reloaded.corrupt_lines == 1
+
+    def test_checksum_mismatch_is_skipped(self, tmp_path):
+        journal = SweepJournal(tmp_path, "sum", n_items=1)
+        journal.record(0, "payload")
+        journal.close()
+        lines = journal.path.read_text().splitlines()
+        entry = json.loads(lines[-1])
+        entry["sha"] = "0" * 64
+        journal.path.write_text("\n".join(lines[:-1] + [json.dumps(entry)]) + "\n")
+
+        reloaded = SweepJournal(tmp_path, "sum", n_items=1, resume=True)
+        assert reloaded.load() == {}
+        assert reloaded.corrupt_lines == 1
+
+    def test_out_of_range_index_is_skipped(self, tmp_path):
+        journal = SweepJournal(tmp_path, "range", n_items=5)
+        journal.record(4, "ok")
+        journal.close()
+        # The same file interpreted as a smaller sweep rejects index 4.
+        reloaded = SweepJournal(tmp_path, "range", n_items=2, resume=True)
+        assert reloaded.load() == {}
+        assert reloaded.corrupt_lines == 1
+
+    def test_fresh_run_truncates_stale_journal(self, tmp_path):
+        journal = SweepJournal(tmp_path, "trunc", n_items=2)
+        journal.record(0, "old")
+        journal.close()
+        fresh = SweepJournal(tmp_path, "trunc", n_items=2, resume=False)
+        fresh.record(1, "new")
+        fresh.close()
+        loaded = SweepJournal(tmp_path, "trunc", n_items=2, resume=True).load()
+        assert loaded == {1: "new"}
+
+
+class TestSweepResume:
+    def test_resumed_sweep_recomputes_zero_cells(self, tmp_path):
+        calls = []
+
+        def cell(x):
+            calls.append(x)
+            return x * x
+
+        with use_runtime(journal_dir=tmp_path) as first:
+            assert sweep([1, 2, 3], cell) == [1, 4, 9]
+        assert first.journal_stats.recorded == 3
+        assert calls == [1, 2, 3]
+
+        calls.clear()
+        with use_runtime(journal_dir=tmp_path, resume=True) as second:
+            assert sweep([1, 2, 3], cell) == [1, 4, 9]
+        assert calls == []  # acceptance: zero recomputation
+        assert second.journal_stats.resumed == 3
+
+    def test_partial_journal_resumes_only_missing_cells(self, tmp_path):
+        calls = []
+
+        def cell(x):
+            calls.append(x)
+            return x + 100
+
+        # Simulate an interrupted run: journal holds cells 0 and 2 only.
+        from repro.runtime.supervisor import _sweep_label
+
+        sid = sweep_fingerprint(_sweep_label(cell), [1, 2, 3])
+        journal = SweepJournal(tmp_path, sid, n_items=3)
+        journal.record(0, 101)
+        journal.record(2, 103)
+        journal.close()
+
+        with use_runtime(journal_dir=tmp_path, resume=True) as ctx:
+            result = sweep([1, 2, 3], cell)
+        assert result == [101, 102, 103]
+        assert ctx.journal_stats.resumed == 2
+        assert ctx.journal_stats.recorded == 1
+        assert calls == [2]  # only the missing middle cell recomputed
+
+    def test_parallel_sweep_journals_and_resumes(self, tmp_path):
+        def cell(x):
+            return x * 7
+
+        with use_runtime(jobs=2, journal_dir=tmp_path) as first:
+            assert sweep([1, 2, 3, 4], cell) == [7, 14, 21, 28]
+        assert first.journal_stats.recorded == 4
+
+        with use_runtime(jobs=2, journal_dir=tmp_path, resume=True) as second:
+            assert sweep([1, 2, 3, 4], cell) == [7, 14, 21, 28]
+        assert second.journal_stats.resumed == 4
+        assert second.journal_stats.recorded == 0
+
+    def test_quarantined_cells_are_not_journaled(self, tmp_path):
+        def bad(x):
+            if x == 2:
+                raise ValueError("doomed")
+            return x
+
+        policy = RetryPolicy(max_attempts=1, backoff=0.01, on_failure="quarantine")
+        with use_runtime(journal_dir=tmp_path, retry=policy) as ctx:
+            assert sweep([1, 2, 3], bad) == [1, None, 3]
+        assert ctx.journal_stats.recorded == 2
+
+        # On resume the quarantined cell is recomputed (and succeeds if
+        # the underlying fault was transient).
+        with use_runtime(journal_dir=tmp_path, resume=True) as ctx:
+            assert sweep([1, 2, 3], lambda x: x) == [1, 2, 3]
+
+    def test_unfingerprintable_items_skip_journaling(self, tmp_path):
+        # Items the fingerprint encoder rejects: sweep still runs, just
+        # without a journal.
+        items = [lambda: 1, lambda: 2]
+        with use_runtime(journal_dir=tmp_path, resume=True) as ctx:
+            result = sweep(items, lambda f: f())
+        assert result == [1, 2]
+        assert ctx.journal_stats.recorded == 0
+        assert not list(tmp_path.iterdir())
