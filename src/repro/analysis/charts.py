@@ -6,16 +6,25 @@ series.  :func:`render_chart` draws one horizontal bar block per swept
 x value and series, scaled to the table's maximum, so the figure's
 *shape* (who dominates, where curves converge) is visible at a glance
 without matplotlib.
+
+:func:`render_timeseries` and :func:`render_event_rate` draw telemetry
+time series the same way -- one bar per time bin, with an optional
+analytic reference level (e.g. the M/M/k/k mean-occupancy prediction)
+marked on each bar -- so the Erlang-B steady state is visually
+checkable straight from a ``repro metrics --chart`` invocation.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.analysis.records import ExperimentTable
 
-__all__ = ["render_chart"]
+__all__ = ["render_chart", "render_timeseries", "render_event_rate"]
 
 _BAR = "█"
 _HALF = "▌"
+_MARK = "┊"
 
 
 def render_chart(
@@ -65,4 +74,101 @@ def render_chart(
             whole = int(cells)
             bar = _BAR * whole + (_HALF if cells - whole >= 0.5 else "")
             lines.append(f"  {series.label:>{label_width}} |{bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def _bar_with_mark(value: float, peak: float, width: int, mark: float | None) -> str:
+    """One horizontal bar, with an optional reference level tick."""
+    cells = 0.0 if peak <= 0 else min(value, peak) / peak * width
+    whole = int(cells)
+    bar = _BAR * whole + (_HALF if cells - whole >= 0.5 else "")
+    if mark is not None and peak > 0:
+        position = int(min(mark, peak) / peak * width)
+        if position >= len(bar):
+            bar = bar + " " * (position - len(bar)) + _MARK
+    return bar
+
+
+def render_timeseries(
+    times: Sequence[float],
+    values: Sequence[float],
+    *,
+    title: str,
+    y_label: str = "value",
+    width: int = 48,
+    bins: int = 24,
+    reference: float | None = None,
+    initial: float = 0.0,
+) -> str:
+    """Render a step-function time series as time-binned bars.
+
+    The series is split into ``bins`` equal time windows; each bar is
+    the *time-weighted average* over its window (the quantity queueing
+    predictions speak about), so downsampling never invents transient
+    spikes.  ``reference`` draws a tick at an analytic level -- pass
+    the M/M/k/k mean occupancy to eyeball Erlang-B convergence.
+    """
+    from repro.telemetry.timeseries import time_average
+
+    if bins < 1:
+        raise ValueError(f"need at least one bin, got {bins}")
+    if len(times) != len(values):
+        raise ValueError("times and values must be the same length")
+    if not times:
+        return f"# {title}\n  (empty series)"
+    t_end = times[-1]
+    t_start = times[0]
+    span = t_end - t_start
+    if span <= 0:
+        return f"# {title}\n  (degenerate series: single instant t={t_start:g})"
+    averages = []
+    for i in range(bins):
+        lo = t_start + span * i / bins
+        hi = t_start + span * (i + 1) / bins
+        averages.append((lo, hi, time_average(times, values, lo, hi, initial=initial)))
+    peak = max(a for _, _, a in averages)
+    if reference is not None:
+        peak = max(peak, reference)
+    lines = [
+        f"# {title}",
+        f"  ({y_label}, time-binned mean; bar = {width} cells at {peak:.4g}"
+        + (f"; {_MARK} = reference {reference:.4g}" if reference is not None else "")
+        + ")",
+    ]
+    for lo, _, average in averages:
+        bar = _bar_with_mark(average, peak, width, reference)
+        lines.append(f"  t={lo:>10.1f} |{bar} {average:.4g}")
+    return "\n".join(lines)
+
+
+def render_event_rate(
+    event_times: Sequence[float],
+    *,
+    title: str,
+    window: float,
+    t_end: float | None = None,
+    width: int = 48,
+    bins: int = 24,
+) -> str:
+    """Render an event stream (drops, preemptions) as a rate-vs-time chart.
+
+    Wraps :func:`repro.telemetry.timeseries.windowed_rate`: each bar is
+    the sliding-window event rate probed at that time.
+    """
+    from repro.telemetry.timeseries import windowed_rate
+
+    if t_end is None:
+        t_end = event_times[-1] if len(event_times) else 0.0
+    if t_end <= 0 or not len(event_times):
+        return f"# {title}\n  (no events)"
+    series = windowed_rate(event_times, window=window, t_end=t_end, n_points=bins)
+    peak = max(series.values)
+    lines = [
+        f"# {title}",
+        f"  (events per time unit over a {window:g}-unit window; "
+        f"bar = {width} cells at {peak:.4g})",
+    ]
+    for t, rate in zip(series.times, series.values):
+        bar = _bar_with_mark(rate, peak, width, None)
+        lines.append(f"  t={t:>10.1f} |{bar} {rate:.4g}")
     return "\n".join(lines)

@@ -12,6 +12,8 @@ code.  Commands:
   and retransmission overhead vs fault intensity, drop-tail vs RCAD;
 * ``theory`` -- the Section 3 bound validations;
 * ``queueing`` -- the Section 4 closed-form validations;
+* ``metrics`` -- summarize a telemetry run manifest (``--series`` /
+  ``--chart`` inspect the recorded time series);
 * ``cache`` -- inspect and heal the on-disk result cache
   (``stats`` / ``verify`` / ``purge`` / ``prune --max-bytes N``).
 
@@ -28,6 +30,16 @@ printed after the command), plus the resilience options ``--retries``,
 EXPERIMENTS.md "Fault-tolerant sweeps").  An interrupted sweep
 (SIGINT) flushes its checkpoint journal and prints the ``--resume``
 command that skips the already-completed cells.
+
+``--telemetry`` instruments every simulation the command runs (buffer
+occupancy series, latency histograms, engine counters) and writes a
+run manifest plus a JSONL series file under ``--telemetry-dir``
+(default ``<cache-dir>/telemetry``); ``repro metrics`` reads them
+back.  Telemetry changes the cached-result identity, so instrumented
+and plain runs never collide in the cache.  Cache hits re-publish the
+stored run's telemetry; journal-``--resume``d cells bypass the
+simulator entirely and are not re-instrumented (the manifest records
+0 runs for them).
 """
 
 from __future__ import annotations
@@ -78,6 +90,17 @@ def _add_runtime_options(sub: argparse.ArgumentParser) -> None:
         "--resume", action="store_true",
         help="resume from the checkpoint journal: cells completed by an "
         "earlier (possibly interrupted) run are not recomputed",
+    )
+    sub.add_argument(
+        "--telemetry", action="store_true",
+        help="instrument the simulations (occupancy series, latency "
+        "histograms, engine counters) and emit a run manifest + metric "
+        "series next to the result cache; inspect with 'repro metrics'",
+    )
+    sub.add_argument(
+        "--telemetry-dir", type=str, default=None, metavar="PATH",
+        help="where to write the manifest/series artifacts "
+        "(default: <cache-dir>/telemetry)",
     )
 
 
@@ -142,6 +165,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--packets", type=int, default=1000)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--flow", type=int, default=1, help="flow id to score (1..4)")
+    run.add_argument(
+        "--traffic", choices=("periodic", "poisson"), default="periodic",
+        help="source traffic model (default: the paper's periodic sources; "
+        "poisson matches the Section 4 queueing predictions)",
+    )
     _add_runtime_options(run)
 
     chaos = commands.add_parser(
@@ -177,6 +205,34 @@ def build_parser() -> argparse.ArgumentParser:
             "--fast", action="store_true",
             help="reduced sample sizes / horizons for a quick look",
         )
+
+    metrics = commands.add_parser(
+        "metrics", help="summarize a telemetry run manifest and its series"
+    )
+    metrics.add_argument(
+        "path", nargs="?", default=None,
+        help="manifest file or telemetry directory (default: the newest "
+        "manifest under the default cache's telemetry directory)",
+    )
+    metrics.add_argument(
+        "--run", type=str, default=None, metavar="KEY",
+        help="run fingerprint (prefix accepted) to inspect; default: "
+        "the manifest's first run",
+    )
+    metrics.add_argument(
+        "--series", type=str, default=None, metavar="NAME",
+        help="print one named time series of the selected run as "
+        "'time value' lines",
+    )
+    metrics.add_argument(
+        "--chart", action="store_true",
+        help="draw occupancy-vs-time and preemption-rate-vs-time charts "
+        "for the selected run",
+    )
+    metrics.add_argument(
+        "--node", type=int, default=None, metavar="N",
+        help="restrict --chart occupancy to one node id",
+    )
 
     cache = commands.add_parser(
         "cache", help="inspect and heal the on-disk result cache"
@@ -289,11 +345,13 @@ def _cmd_run(args: argparse.Namespace) -> None:
         case=args.case,
         n_packets=args.packets,
         seed=args.seed,
+        traffic=args.traffic,
     )
     metrics = score_flow(
         result, build_adversary(args.adversary, args.case), flow_id=args.flow
     )
     print(f"case            : {args.case}")
+    print(f"traffic         : {args.traffic}")
     print(f"adversary       : {args.adversary}")
     print(f"1/lambda        : {args.interarrival:g}")
     print(f"flow            : {args.flow} ({metrics.n_packets} packets)")
@@ -368,6 +426,123 @@ def _cmd_queueing(fast: bool) -> None:
     print(tree_occupancy_validation(n_packets=n_packets).render())
 
 
+def _resolve_manifest(path_arg: str | None):
+    from pathlib import Path
+
+    from repro.runtime import default_cache_dir
+    from repro.telemetry import latest_manifest
+
+    if path_arg is None:
+        path = latest_manifest(Path(default_cache_dir()) / "telemetry")
+        if path is None:
+            raise SystemExit(
+                "no telemetry manifests found; run a simulation command "
+                "with --telemetry first (or pass a manifest path)"
+            )
+        return path
+    path = Path(path_arg)
+    if path.is_dir():
+        found = latest_manifest(path)
+        if found is None:
+            raise SystemExit(f"no *.manifest.json under {path}")
+        return found
+    if not path.is_file():
+        raise SystemExit(f"no such manifest: {path}")
+    return path
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_manifest, load_series
+
+    manifest_path = _resolve_manifest(args.path)
+    manifest = load_manifest(manifest_path)
+    print(f"manifest        : {manifest_path}")
+    print(f"command         : {manifest['command']}")
+    print(f"git describe    : {manifest['git_describe']}")
+    print(f"wall time       : {manifest['wall_time_seconds']:.2f}s")
+    print(f"simulations     : {manifest['runtime']['simulations']} "
+          f"({manifest['runtime']['sim_seconds']:.2f}s simulated wall, "
+          f"{manifest['runtime']['jobs']} jobs)")
+    print(f"runs            : {len(manifest['runs'])}")
+    counters = manifest["metrics"]["counters"]
+    if counters:
+        print("counters:")
+        for name, value in counters.items():
+            print(f"  {name:<24} {value}")
+    histograms = manifest["metrics"]["histograms"]
+    if histograms:
+        print("histograms:")
+        for name, data in histograms.items():
+            if data["count"]:
+                print(
+                    f"  {name:<24} n={data['count']} "
+                    f"mean={data['sum'] / data['count']:.2f} "
+                    f"min={data['min']:.2f} max={data['max']:.2f}"
+                )
+            else:
+                print(f"  {name:<24} (empty)")
+
+    wants_series = args.series is not None or args.chart
+    if not wants_series:
+        return 0
+    if not manifest.get("series_file"):
+        raise SystemExit("manifest has no series file")
+    series_path = manifest_path.parent / manifest["series_file"]
+    if not series_path.is_file():
+        raise SystemExit(f"series file missing: {series_path}")
+    series, run_metrics = load_series(series_path)
+
+    run_key = args.run or (manifest["runs"][0] if manifest["runs"] else None)
+    if run_key is None:
+        raise SystemExit("manifest records no runs")
+    # Resolve against the metrics lines: every run has one, whereas a
+    # run may record no series at all (e.g. the no-delay case).
+    known = set(run_metrics) | {key for key, _ in series}
+    matches = sorted(key for key in known if key.startswith(run_key))
+    if not matches:
+        raise SystemExit(f"no run matching {run_key!r} in {series_path.name}")
+    if len(matches) > 1:
+        raise SystemExit(f"run prefix {run_key!r} is ambiguous: {matches}")
+    run_key = matches[0]
+    print(f"run             : {run_key}")
+
+    if args.series is not None:
+        one = series.get((run_key, args.series))
+        if one is None:
+            available = sorted(n for k, n in series if k == run_key)
+            raise SystemExit(
+                f"no series {args.series!r} for this run; available: {available}"
+            )
+        for t, v in zip(one.times, one.values):
+            print(f"{t:g} {v:g}")
+    if args.chart:
+        from repro.analysis.charts import render_event_rate, render_timeseries
+
+        occupancy = sorted(
+            (name, s) for (key, name), s in series.items()
+            if key == run_key and name.startswith("occupancy/")
+        )
+        if args.node is not None:
+            occupancy = [
+                (name, s) for name, s in occupancy
+                if name == f"occupancy/node-{args.node}"
+            ]
+            if not occupancy:
+                raise SystemExit(f"no occupancy series for node {args.node}")
+        for name, s in occupancy:
+            print()
+            print(render_timeseries(
+                s.times, s.values, title=name, y_label="packets buffered",
+            ))
+        preempts = series.get((run_key, "events/preempt"))
+        if preempts is not None and len(preempts):
+            print()
+            print(render_event_rate(
+                preempts.times, title="preemption rate vs time", window=50.0,
+            ))
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.runtime import ResultCache, default_cache_dir
 
@@ -435,14 +610,30 @@ def _dispatch(args: argparse.Namespace) -> None:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an
+        # error.  Redirect stdout to devnull so the interpreter's
+        # shutdown flush does not print a second traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command not in _SIMULATION_COMMANDS:
         _dispatch(args)
         return 0
 
     import os
+    import time
 
     from repro.runtime import (
         ResultCache,
@@ -467,6 +658,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         on_failure="quarantine" if args.quarantine else "raise",
     )
     journal_dir = cache.directory / "journal" if cache is not None else None
+    started_at = time.time()
+    started_clock = time.monotonic()
     try:
         with use_runtime(
             jobs=jobs,
@@ -474,12 +667,41 @@ def main(argv: Sequence[str] | None = None) -> int:
             retry=retry,
             journal_dir=journal_dir,
             resume=args.resume,
+            telemetry=args.telemetry,
         ) as context:
             _dispatch(args)
     except KeyboardInterrupt:
         # The supervisor already flushed the journal and printed the
         # resume hint; exit with the conventional SIGINT code.
         return 130
+    if args.telemetry:
+        import dataclasses
+        from pathlib import Path
+
+        from repro.telemetry import build_manifest, write_run_artifacts
+
+        if args.telemetry_dir is not None:
+            telemetry_dir = Path(args.telemetry_dir)
+        elif cache is not None:
+            telemetry_dir = cache.directory / "telemetry"
+        else:
+            telemetry_dir = Path(args.cache_dir or default_cache_dir()) / "telemetry"
+        manifest = build_manifest(
+            command=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            aggregate=context.telemetry,
+            wall_time_seconds=time.monotonic() - started_clock,
+            seed=getattr(args, "seed", None),
+            jobs=jobs,
+            simulations=context.stats.simulations,
+            sim_seconds=context.stats.sim_seconds,
+            cache_stats=dataclasses.asdict(cache.stats) if cache is not None else None,
+            started_at=started_at,
+        )
+        manifest_path, _ = write_run_artifacts(
+            telemetry_dir, args.command, manifest, context.telemetry
+        )
+        print(f"telemetry manifest: {manifest_path}")
     if cache is not None:
         print(cache.stats.render())
     if journal_dir is not None:

@@ -91,6 +91,16 @@ class AdmissionResult:
     victim: BufferedEntry | None
 
 
+#: Buffer outcome -> telemetry probe event name.  A preemption's probe
+#: fires once, after the victim is out and the newcomer is in, so the
+#: reported occupancy is the (unchanged) post-swap value.
+_PROBE_EVENTS = {
+    AdmissionOutcome.ADMITTED: "admit",
+    AdmissionOutcome.DROPPED: "drop",
+    AdmissionOutcome.PREEMPTED_VICTIM: "preempt",
+}
+
+
 class PacketBuffer(abc.ABC):
     """Interface shared by all buffer disciplines."""
 
@@ -101,6 +111,11 @@ class PacketBuffer(abc.ABC):
         self.dropped_count = 0
         self.preemption_count = 0
         self.peak_occupancy = 0
+        #: Optional telemetry hook ``(event, occupancy) -> None`` called
+        #: after every state change with the post-event occupancy, where
+        #: ``event`` is ``"admit" | "drop" | "preempt" | "release"``.
+        #: None (the default) keeps the hot path at one identity check.
+        self.telemetry_probe = None
 
     # ------------------------------------------------------------------
     @property
@@ -156,14 +171,19 @@ class PacketBuffer(abc.ABC):
             if result.outcome is AdmissionOutcome.PREEMPTED_VICTIM:
                 self.preemption_count += 1
         self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        if self.telemetry_probe is not None:
+            self.telemetry_probe(_PROBE_EVENTS[result.outcome], self.occupancy)
         return result
 
     def release(self, entry_id: int) -> BufferedEntry:
         """Remove and return the entry whose delay expired (or victim)."""
         try:
-            return self._entries.pop(entry_id)
+            entry = self._entries.pop(entry_id)
         except KeyError:
             raise KeyError(f"no buffered entry with id {entry_id}")
+        if self.telemetry_probe is not None:
+            self.telemetry_probe("release", self.occupancy)
+        return entry
 
     def shortest_remaining_release_time(self) -> float | None:
         """Earliest scheduled release among buffered packets, if any."""

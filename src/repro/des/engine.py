@@ -99,6 +99,8 @@ class Simulator:
         self._heap: list[tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._events_scheduled = 0
+        self._events_skipped = 0
         self._last_event_time = float(start_time)
         self._running = False
 
@@ -114,6 +116,21 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of event callbacks executed so far."""
         return self._events_processed
+
+    @property
+    def events_scheduled(self) -> int:
+        """Number of events ever pushed onto the heap."""
+        return self._events_scheduled
+
+    @property
+    def events_skipped(self) -> int:
+        """Cancelled events lazily discarded when popped.
+
+        ``events_skipped / events_scheduled`` is the cancellation ratio;
+        under RCAD it measures how often preemption outran the release
+        timers -- a direct view of the effective-mu adaptation.
+        """
+        return self._events_skipped
 
     @property
     def last_event_time(self) -> float:
@@ -140,6 +157,7 @@ class Simulator:
             if handle.pending:
                 return when
             heapq.heappop(self._heap)
+            self._events_skipped += 1
         return math.inf
 
     # ------------------------------------------------------------------
@@ -166,6 +184,7 @@ class Simulator:
             raise ValueError("cannot schedule an event at time NaN")
         handle = EventHandle(when, callback, args, next(self._seq))
         heapq.heappush(self._heap, (when, handle.seq, handle))
+        self._events_scheduled += 1
         return handle
 
     def schedule_after(
@@ -187,6 +206,7 @@ class Simulator:
         while self._heap:
             when, _, handle = heapq.heappop(self._heap)
             if not handle.pending:
+                self._events_skipped += 1
                 continue
             self._now = when
             self._last_event_time = when

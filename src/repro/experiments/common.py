@@ -90,8 +90,14 @@ def run_paper_case(
     case: Case,
     n_packets: int = PAPER_N_PACKETS,
     seed: int = 0,
+    traffic: str = "periodic",
 ) -> SimulationResult:
-    """Simulate one evaluation case at one traffic load."""
+    """Simulate one evaluation case at one traffic load.
+
+    ``traffic="poisson"`` swaps the paper's periodic sources for
+    Poisson sources at the same mean rate -- the regime the Section 4
+    queueing predictions (and the telemetry acceptance checks) assume.
+    """
     config = SimulationConfig.paper_baseline(
         interarrival=interarrival,
         case=case,
@@ -99,6 +105,7 @@ def run_paper_case(
         mean_delay=PAPER_MEAN_DELAY,
         buffer_capacity=PAPER_BUFFER_CAPACITY,
         seed=seed,
+        traffic=traffic,  # type: ignore[arg-type]
     )
     return run_simulation(config)
 

@@ -111,6 +111,20 @@ class FaultInjector:
         """Snapshot of currently crashed nodes."""
         return frozenset(self._crashed)
 
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def publish_telemetry(self, registry) -> None:
+        """Fold lifetime fault counters into a telemetry registry.
+
+        Called by the simulator at finalize time (the hot sampling paths
+        stay untouched); ``registry`` is a
+        :class:`repro.telemetry.MetricsRegistry`.
+        """
+        registry.counter("faults/link-losses").inc(self.link_losses)
+        registry.counter("faults/duplications").inc(self.duplications)
+        registry.counter("faults/crash-windows").inc(len(self.plan.crashes))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FaultInjector({self.plan.describe()}, "

@@ -21,6 +21,7 @@ The paper uses this in two ways, both implemented here:
 from __future__ import annotations
 
 import math
+import operator
 
 from scipy.optimize import brentq
 
@@ -30,6 +31,30 @@ __all__ = [
     "offered_load_for_target_loss",
     "mu_for_target_loss",
 ]
+
+
+def _check_servers(servers, minimum: int = 0) -> int:
+    """Coerce ``servers`` to a plain int, rejecting non-integral types.
+
+    Accepts anything indexable as an integer (``int``, ``numpy.int64``,
+    ...) via :func:`operator.index`; rejects ``bool`` explicitly (it
+    indexes as 0/1 but a boolean server count is always a bug).  Type
+    errors fire *before* any range comparison, so a string argument
+    raises ``TypeError`` rather than an unordered-comparison error.
+    """
+    if isinstance(servers, bool):
+        raise TypeError("server count must be an integer, got bool")
+    try:
+        servers = operator.index(servers)
+    except TypeError:
+        raise TypeError(
+            f"server count must be an integer, got {type(servers).__name__}"
+        ) from None
+    if servers < minimum:
+        raise ValueError(
+            f"server count must be at least {minimum}, got {servers}"
+        )
+    return servers
 
 
 def erlang_b(offered_load: float, servers: int) -> float:
@@ -56,13 +81,13 @@ def erlang_b(offered_load: float, servers: int) -> float:
     0.095238
     >>> erlang_b(0.0, 3)
     0.0
+    >>> import numpy as np
+    >>> erlang_b(0.0, np.int64(3))
+    0.0
     """
+    servers = _check_servers(servers)
     if offered_load < 0:
         raise ValueError(f"offered load must be non-negative, got {offered_load}")
-    if servers < 0:
-        raise ValueError(f"server count must be non-negative, got {servers}")
-    if not isinstance(servers, int):
-        raise TypeError(f"server count must be an int, got {type(servers).__name__}")
     blocking = 1.0
     for k in range(1, servers + 1):
         blocking = offered_load * blocking / (k + offered_load * blocking)
@@ -94,9 +119,8 @@ def offered_load_for_target_loss(servers: int, target_loss: float) -> float:
     ``E(rho, k)`` is strictly increasing in rho (for k >= 1), so the
     answer is the unique root of ``E(rho, k) - target_loss``.
     """
+    servers = _check_servers(servers, minimum=1)
     _check_target(target_loss)
-    if servers < 1:
-        raise ValueError(f"need at least one server, got {servers}")
     if erlang_b(0.0, servers) > target_loss:  # pragma: no cover - impossible: E(0,k)=0
         raise ValueError("target loss unattainable")
     # Bracket the root: blocking -> 1 as rho -> inf.
@@ -120,6 +144,7 @@ def mu_for_target_loss(arrival_rate: float, servers: int, target_loss: float) ->
     Returns the minimum admissible mu; any mu above it also meets the
     target (at the cost of privacy).
     """
+    servers = _check_servers(servers, minimum=1)
     if arrival_rate <= 0:
         raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
     max_load = offered_load_for_target_loss(servers, target_loss)
@@ -140,10 +165,9 @@ def erlang_b_direct(offered_load: float, servers: int) -> float:
     log space so it remains usable for moderate k, but prefer
     :func:`erlang_b` in production code.
     """
+    servers = _check_servers(servers)
     if offered_load < 0:
         raise ValueError(f"offered load must be non-negative, got {offered_load}")
-    if servers < 0:
-        raise ValueError(f"server count must be non-negative, got {servers}")
     if offered_load == 0:
         return 1.0 if servers == 0 else 0.0
     log_rho = math.log(offered_load)

@@ -42,6 +42,7 @@ from repro.runtime.cache import (
 )
 from repro.runtime.context import (
     RuntimeContext,
+    RuntimeStats,
     current_runtime,
     run_simulation,
     use_runtime,
@@ -69,6 +70,7 @@ __all__ = [
     "ResultCache",
     "default_cache_dir",
     "RuntimeContext",
+    "RuntimeStats",
     "current_runtime",
     "run_simulation",
     "use_runtime",

@@ -24,6 +24,7 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.executors import Executor, ParallelExecutor, SerialExecutor
 from repro.runtime.journal import JournalStats
 from repro.runtime.supervisor import FailureReport, RetryPolicy
+from repro.telemetry import TelemetryAggregate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.config import SimulationConfig
@@ -45,6 +46,26 @@ class RuntimeStats:
     simulations: int = 0
     """Actual simulator invocations (cache hits do not count)."""
 
+    sim_seconds: float = 0.0
+    """Wall-clock seconds spent inside the simulator (cache hits do
+    not count; for retried items, only the successful attempt)."""
+
+    def snapshot(self) -> "RuntimeStats":
+        """A frozen copy, for before/after delta computation."""
+        return RuntimeStats(self.simulations, self.sim_seconds)
+
+    def delta_since(self, before: "RuntimeStats") -> "RuntimeStats":
+        """What accrued since ``before`` (a worker's contribution)."""
+        return RuntimeStats(
+            self.simulations - before.simulations,
+            self.sim_seconds - before.sim_seconds,
+        )
+
+    def merge(self, delta: "RuntimeStats") -> None:
+        """Fold a worker's delta into this (parent) counter set."""
+        self.simulations += delta.simulations
+        self.sim_seconds += delta.sim_seconds
+
 
 @dataclass
 class RuntimeContext:
@@ -61,6 +82,10 @@ class RuntimeContext:
     journal_stats: JournalStats = field(default_factory=JournalStats)
     failure_reports: list[FailureReport] = field(default_factory=list)
     """One report per sweep that quarantined cells or degraded."""
+    telemetry: TelemetryAggregate | None = None
+    """Run telemetry collector; None (the default) disables
+    instrumentation entirely -- simulations take the legacy code paths
+    with a single flag check."""
 
 
 _DEFAULT = RuntimeContext()
@@ -81,6 +106,7 @@ def use_runtime(
     retry: RetryPolicy | None = None,
     journal_dir: str | Path | None = None,
     resume: bool = False,
+    telemetry: bool = False,
 ) -> Iterator[RuntimeContext]:
     """Activate an executor/cache pairing for the enclosed experiments.
 
@@ -104,6 +130,11 @@ def use_runtime(
     resume:
         Load journaled cells instead of recomputing them (needs
         ``journal_dir``).
+    telemetry:
+        Collect per-run instrumentation (occupancy series, latency
+        histograms, engine counters) into ``ctx.telemetry``.  Changes
+        cache identities: instrumented results are cached under
+        distinct keys from plain ones.
     """
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
@@ -118,6 +149,7 @@ def use_runtime(
         retry=retry if retry is not None else RetryPolicy(),
         journal_dir=Path(journal_dir) if journal_dir is not None else None,
         resume=resume,
+        telemetry=TelemetryAggregate() if telemetry else None,
     )
     _STACK.append(context)
     try:
@@ -136,16 +168,45 @@ def run_simulation(config: "SimulationConfig") -> "SimulationResult":
     touching the simulator at all.
     """
     context = current_runtime()
+    if context.telemetry is not None and not config.record_telemetry:
+        # The flag participates in cache fingerprints, so instrumented
+        # and plain results never alias under the same key.
+        from dataclasses import replace
+
+        config = replace(config, record_telemetry=True)
     if context.cache is not None:
         cached = context.cache.get(config)
         if cached is not None:
+            _publish_telemetry(context, config, cached)
             return cached
     from repro.sim.simulator import SensorNetworkSimulator
 
-    started = time.perf_counter()
+    # time.monotonic throughout the runtime: the supervisor's deadlines
+    # use it, so cache-entry `elapsed` must tick on the same clock.
+    started = time.monotonic()
     result = SensorNetworkSimulator(config).run()
-    elapsed = time.perf_counter() - started
+    elapsed = time.monotonic() - started
     context.stats.simulations += 1
+    context.stats.sim_seconds += elapsed
     if context.cache is not None:
         context.cache.put(config, result, elapsed)
+    _publish_telemetry(context, config, result)
     return result
+
+
+def _publish_telemetry(
+    context: RuntimeContext,
+    config: "SimulationConfig",
+    result: "SimulationResult",
+) -> None:
+    """Publish a run's telemetry under its config fingerprint.
+
+    The key is a pure configuration fingerprint (no code salt): the
+    manifest identifies *what* was simulated; code identity travels
+    separately as ``git describe``.
+    """
+    if context.telemetry is None or result.telemetry is None:
+        return
+    from repro.runtime.fingerprint import stable_fingerprint
+
+    context.telemetry.add_run(stable_fingerprint(config), result.telemetry)

@@ -119,10 +119,14 @@ _IN_WORKER = False
 def _worker_invoke(index: int):
     """Run one item in a forked worker; never raises.
 
-    Returns ``(payload, cache_delta, simulations_delta)`` where payload
-    is ``("ok", value)`` or ``("err", message, traceback_text)``.  The
-    deltas let the parent fold worker-side cache hits/misses and
-    simulator invocations into its own counters.
+    Returns ``(payload, cache_delta, stats_delta, telemetry_runs)``
+    where payload is ``("ok", value)`` or ``("err", message,
+    traceback_text)``.  The deltas let the parent fold worker-side
+    cache hits/misses and simulator invocations into its own counters;
+    ``telemetry_runs`` is the item's captured telemetry publications
+    (in publication order) for the parent to replay in *item* order --
+    that replay discipline is what keeps aggregated telemetry
+    bit-identical between ``--jobs N`` and serial execution.
     """
     global _IN_WORKER
     _IN_WORKER = True
@@ -130,16 +134,22 @@ def _worker_invoke(index: int):
 
     context = current_runtime()
     cache_before = context.cache.stats.snapshot() if context.cache else None
-    simulations_before = context.stats.simulations
+    stats_before = context.stats.snapshot()
     assert _ACTIVE is not None  # armed by the parent before the fork
+    telemetry_runs = None
     try:
-        payload = ("ok", _ACTIVE["fn"](_ACTIVE["items"][index]))
+        if context.telemetry is not None:
+            with context.telemetry.capture() as sink:
+                payload = ("ok", _ACTIVE["fn"](_ACTIVE["items"][index]))
+            telemetry_runs = sink.runs
+        else:
+            payload = ("ok", _ACTIVE["fn"](_ACTIVE["items"][index]))
     except Exception as exc:
         payload = ("err", repr(exc), traceback.format_exc())
     cache_delta = (
         context.cache.stats.delta_since(cache_before) if context.cache else None
     )
-    return payload, cache_delta, context.stats.simulations - simulations_before
+    return payload, cache_delta, context.stats.delta_since(stats_before), telemetry_runs
 
 
 class ParallelExecutor(Executor):
@@ -200,10 +210,15 @@ class ParallelExecutor(Executor):
         context = current_runtime()
         results: list[R] = []
         failure: tuple[int, str, str] | None = None
-        for index, (payload, cache_delta, simulations) in enumerate(raw):
+        for index, (payload, cache_delta, stats_delta, telemetry_runs) in enumerate(raw):
             if cache_delta is not None and context.cache is not None:
                 context.cache.stats.merge(cache_delta)
-            context.stats.simulations += simulations
+            context.stats.merge(stats_delta)
+            if telemetry_runs is not None and context.telemetry is not None:
+                # Replay in item order (this loop IS item order): the
+                # serial path publishes in item order too, so folding
+                # the aggregate gives bit-identical float sums.
+                context.telemetry.replay(telemetry_runs)
             if payload[0] == "ok":
                 results.append(payload[1])
             elif failure is None:

@@ -50,6 +50,7 @@ _SALTED_SUBPACKAGES = (
     "crypto",
     "location",
     "mixes",
+    "telemetry",
 )
 
 

@@ -189,15 +189,39 @@ class Supervisor:
         pending = [i for i in range(len(items)) if i not in results]
         report = FailureReport(label=self.label, n_items=len(items))
         self._attempts: dict[int, int] = {}
-        if pending:
-            if self._parallel_viable(len(pending)):
-                self._run_parallel(fn, items, pending, results, report)
-            else:
-                self._run_serial(fn, items, pending, results, report)
+        self._telemetry_captures: dict[int, list] = {}
+        try:
+            if pending:
+                if self._parallel_viable(len(pending)):
+                    self._run_parallel(fn, items, pending, results, report)
+                else:
+                    self._run_serial(fn, items, pending, results, report)
+        finally:
+            self._replay_telemetry()
         if self.journal is not None:
             self.journal.close()
         ordered = [results.get(i) for i in range(len(items))]
         return ordered, (report if report.failures or report.degraded_to_serial else None)
+
+    def _replay_telemetry(self) -> None:
+        """Publish captured per-item telemetry in item order.
+
+        Items complete out of order under retries and parallel
+        execution, so each item's publications are captured at call
+        time and replayed here sorted by item index -- the same order
+        the plain serial path publishes in, which keeps aggregated
+        telemetry bit-identical.  Failed attempts never land in the
+        capture table, so a retried item contributes exactly its
+        successful attempt and a quarantined item contributes nothing.
+        """
+        from repro.runtime.context import current_runtime
+
+        telemetry = current_runtime().telemetry
+        if telemetry is None:
+            return
+        for index in sorted(self._telemetry_captures):
+            telemetry.replay(self._telemetry_captures[index])
+        self._telemetry_captures.clear()
 
     # ------------------------------------------------------------------
     def _parallel_viable(self, n_pending: int) -> bool:
@@ -217,13 +241,29 @@ class Supervisor:
 
             current_runtime().journal_stats.recorded += 1
 
-    def _merge_worker_counters(self, cache_delta, simulations: int) -> None:
+    def _merge_worker_counters(self, cache_delta, stats_delta) -> None:
         from repro.runtime.context import current_runtime
 
         context = current_runtime()
         if cache_delta is not None and context.cache is not None:
             context.cache.stats.merge(cache_delta)
-        context.stats.simulations += simulations
+        context.stats.merge(stats_delta)
+
+    def _call_with_capture(self, fn: Callable, item, index: int):
+        """In-process call with the item's telemetry captured.
+
+        The capture is kept only if the call succeeds; an exception
+        discards it (the retry's successful attempt will capture anew).
+        """
+        from repro.runtime.context import current_runtime
+
+        telemetry = current_runtime().telemetry
+        if telemetry is None:
+            return fn(item)
+        with telemetry.capture() as sink:
+            value = fn(item)
+        self._telemetry_captures[index] = sink.runs
+        return value
 
     def _charge(
         self,
@@ -279,7 +319,7 @@ class Supervisor:
         while queue:
             index = queue.popleft()
             try:
-                value = fn(items[index])
+                value = self._call_with_capture(fn, items[index], index)
             except Exception as exc:
                 self._charge(
                     index,
@@ -344,15 +384,19 @@ class Supervisor:
                 for future in done:
                     index, _ = inflight.pop(future)
                     try:
-                        payload, cache_delta, simulations = future.result()
+                        payload, cache_delta, stats_delta, telemetry_runs = (
+                            future.result()
+                        )
                     except CancelledError:
                         queue.appendleft(index)
                     except Exception as exc:
                         # Worker process died: the pool is broken.
                         suspects.append((index, exc))
                     else:
-                        self._merge_worker_counters(cache_delta, simulations)
+                        self._merge_worker_counters(cache_delta, stats_delta)
                         if payload[0] == "ok":
+                            if telemetry_runs is not None:
+                                self._telemetry_captures[index] = telemetry_runs
                             self._record(index, payload[1], results)
                         else:
                             self._charge(

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.metrics import PacketRecord
 from repro.net.packet import PacketObservation
 from repro.sim.tracing import PacketTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import RunTelemetry
 
 __all__ = ["NodeStats", "DroppedPacket", "SimulationResult"]
 
@@ -89,6 +93,11 @@ class SimulationResult:
     arq_failed: int = 0
     """Hop transfers abandoned after exhausting ARQ retries with no
     copy ever received (subset of ``lost_in_transit``)."""
+    telemetry: "RunTelemetry | None" = None
+    """Instrumentation recorded during the run (occupancy series,
+    latency histograms, engine counters), present only when the
+    configuration sets ``record_telemetry=True``.  Derived purely from
+    simulated time, so it caches and pickles with the result."""
 
     # ------------------------------------------------------------------
     def flow_ids(self) -> list[int]:

@@ -55,6 +55,7 @@ from repro.net.packet import Packet, RoutingHeader
 from repro.net.routing import backup_parents
 from repro.sim.config import SimulationConfig
 from repro.sim.results import DroppedPacket, NodeStats, SimulationResult
+from repro.telemetry import RunTelemetry
 
 __all__ = ["SensorNetworkSimulator"]
 
@@ -149,6 +150,9 @@ class SensorNetworkSimulator:
         else:
             self._faults = None
             self._backups = {}
+        self.telemetry: RunTelemetry | None = (
+            RunTelemetry() if config.record_telemetry else None
+        )
         self._counters = ConservationCounters()
         self._seen: dict[int, set[tuple[int, int, int]]] = {}
         self._transfers: dict[int, ArqTransfer] = {}
@@ -201,8 +205,42 @@ class SensorNetworkSimulator:
                 stats=NodeStats(node_id=node),
                 last_occupancy_change=self._sim.now,
             )
+            if self.telemetry is not None:
+                self._attach_probe(node, state.buffer)
             self._nodes[node] = state
         return state
+
+    def _attach_probe(self, node: int, buffer: PacketBuffer) -> None:
+        """Instrument one node's buffer.
+
+        The closure pre-resolves every metric object so the per-event
+        cost is two list appends and a counter bump -- no dictionary
+        lookups or allocations on the buffer's hot path.
+        """
+        telemetry = self.telemetry
+        occupancy = telemetry.series.series(f"occupancy/node-{node}")
+        registry = telemetry.registry
+        counters = {
+            "admit": registry.counter("sim/admitted"),
+            "drop": registry.counter("sim/dropped"),
+            "preempt": registry.counter("sim/preempted"),
+            "release": registry.counter("sim/released"),
+        }
+        event_series = {
+            "drop": telemetry.series.series("events/drop"),
+            "preempt": telemetry.series.series("events/preempt"),
+        }
+        sim = self._sim
+
+        def probe(event: str, count: int) -> None:
+            now = sim.now
+            occupancy.append(now, float(count))
+            counters[event].inc()
+            events = event_series.get(event)
+            if events is not None:
+                events.append(now, 1.0)
+
+        buffer.telemetry_probe = probe
 
     def _make_buffer(self) -> PacketBuffer:
         spec = self.config.buffers
@@ -554,6 +592,11 @@ class SensorNetworkSimulator:
             (self._sim.now, transfer.sender, transfer.receiver)
         )
         self._node_state(transfer.sender).stats.retransmissions += 1
+        if self.telemetry is not None:
+            self.telemetry.registry.counter("sim/retransmissions").inc()
+            self.telemetry.series.series("events/retransmit").append(
+                self._sim.now, 1.0
+            )
         self._trace(transfer.payload, "retransmit", transfer.sender,
                     detail=transfer.receiver)
         self._send_arq_copy(transfer)
@@ -612,6 +655,11 @@ class SensorNetworkSimulator:
                     f"for flow {packet.flow_id} packet {packet.packet_id}"
                 )
         self._counters.delivered += 1
+        if self.telemetry is not None:
+            self.telemetry.registry.counter("sim/delivered").inc()
+            self.telemetry.registry.histogram(
+                f"latency/flow-{packet.flow_id}"
+            ).observe(now - packet.created_at)
         self._trace(transit, "delivered", self.config.deployment.sink)
         self._result.observations.append(packet.observe(arrival_time=now))
         self._result.records.append(
@@ -643,6 +691,16 @@ class SensorNetworkSimulator:
         self._result.stranded_in_buffer = self._counters.stranded_in_buffer
         self._result.end_time = end
         self._result.events_processed = self._sim.events_processed
+        if self.telemetry is not None:
+            registry = self.telemetry.registry
+            registry.counter("des/events-processed").inc(self._sim.events_processed)
+            registry.counter("des/events-scheduled").inc(self._sim.events_scheduled)
+            registry.counter("des/events-skipped").inc(self._sim.events_skipped)
+            registry.counter("sim/lost-in-transit").inc(self.lost_in_transit)
+            registry.gauge("sim/end-time").set(end)
+            if self._faults is not None:
+                self._faults.publish_telemetry(registry)
+            self._result.telemetry = self.telemetry
         if self.config.faults is not None:
             self._counters.crash_nodes = self.config.faults.crash_nodes()
         InvariantAuditor(self._counters).audit(self._result)

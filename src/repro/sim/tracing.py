@@ -48,6 +48,10 @@ EVENT_KINDS = (
     "delivered",
 )
 
+#: frozenset mirror of :data:`EVENT_KINDS` for O(1) membership checks
+#: on the per-event validation path.
+_EVENT_KIND_SET = frozenset(EVENT_KINDS)
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -59,7 +63,7 @@ class TraceEvent:
     detail: float | int | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in EVENT_KINDS:
+        if self.kind not in _EVENT_KIND_SET:
             raise ValueError(
                 f"unknown trace event kind {self.kind!r}; expected one of "
                 f"{EVENT_KINDS}"

@@ -1,0 +1,57 @@
+"""Telemetry: metrics registry, time-series recording, run manifests.
+
+Off by default; enabled per runtime context via ``use_runtime(...,
+telemetry=True)`` or the ``--telemetry`` CLI flag.  See DESIGN.md §9.
+"""
+
+from repro.telemetry.collect import CaptureSink, RunTelemetry, TelemetryAggregate
+from repro.telemetry.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    git_describe,
+    latest_manifest,
+    load_manifest,
+    load_series,
+    write_run_artifacts,
+)
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.schema import SchemaError, load_manifest_schema, validate
+from repro.telemetry.timeseries import (
+    TimeSeries,
+    TimeSeriesStore,
+    resample_step,
+    time_average,
+    windowed_rate,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_EDGES",
+    "TimeSeries",
+    "TimeSeriesStore",
+    "time_average",
+    "windowed_rate",
+    "resample_step",
+    "RunTelemetry",
+    "TelemetryAggregate",
+    "CaptureSink",
+    "MANIFEST_SCHEMA_VERSION",
+    "build_manifest",
+    "write_run_artifacts",
+    "load_manifest",
+    "load_series",
+    "latest_manifest",
+    "git_describe",
+    "SchemaError",
+    "load_manifest_schema",
+    "validate",
+]

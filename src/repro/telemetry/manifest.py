@@ -1,0 +1,187 @@
+"""Structured run manifests: what ran, with what code, measuring what.
+
+Every telemetry-enabled CLI invocation emits two artifacts next to the
+result cache (``<cache_dir>/telemetry/`` by default):
+
+* ``<stamp>-<command>.manifest.json`` -- one JSON document with the
+  command line, a fingerprint over every simulated configuration, the
+  root seed, ``git describe`` of the working tree, wall time, the
+  aggregated metric snapshot, and runtime/cache counters;
+* ``<stamp>-<command>.series.jsonl`` -- one line per recorded time
+  series (and one metric-snapshot line per run), keyed by the run's
+  configuration fingerprint.
+
+The manifest format is pinned by the checked-in JSON schema
+(``run_manifest.schema.json`` in this package) and validated in CI;
+:data:`MANIFEST_SCHEMA_VERSION` is bumped on breaking changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.telemetry.timeseries import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.collect import TelemetryAggregate
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "git_describe",
+    "build_manifest",
+    "write_run_artifacts",
+    "load_manifest",
+    "load_series",
+    "latest_manifest",
+]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def git_describe() -> str:
+    """``git describe --always --dirty`` of the source tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except Exception:
+        return "unknown"
+    described = out.stdout.strip()
+    return described if out.returncode == 0 and described else "unknown"
+
+
+def _fingerprint_runs(run_keys: list[str]) -> str:
+    """One stable fingerprint over every simulated configuration.
+
+    Run keys are already stable config fingerprints; hashing them in
+    sorted order makes the combined fingerprint independent of sweep
+    ordering.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(run_keys):
+        digest.update(key.encode("ascii"))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def build_manifest(
+    *,
+    command: str,
+    argv: list[str],
+    aggregate: "TelemetryAggregate",
+    wall_time_seconds: float,
+    seed: int | None = None,
+    jobs: int = 1,
+    simulations: int = 0,
+    sim_seconds: float = 0.0,
+    cache_stats: dict | None = None,
+    started_at: float | None = None,
+    series_file: str | None = None,
+) -> dict:
+    """Assemble the manifest document (pure data; nothing is written)."""
+    run_keys = [key for key, _ in aggregate.runs]
+    return {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "command": command,
+        "argv": list(argv),
+        "config_fingerprint": _fingerprint_runs(run_keys),
+        "seed": seed,
+        "git_describe": git_describe(),
+        "started_at": time.time() if started_at is None else float(started_at),
+        "wall_time_seconds": float(wall_time_seconds),
+        "runs": run_keys,
+        "metrics": aggregate.snapshot(),
+        "runtime": {
+            "jobs": int(jobs),
+            "simulations": int(simulations),
+            "sim_seconds": float(sim_seconds),
+        },
+        "cache": cache_stats,
+        "series_file": series_file,
+    }
+
+
+def write_run_artifacts(
+    directory: str | Path,
+    command: str,
+    manifest: dict,
+    aggregate: "TelemetryAggregate",
+) -> tuple[Path, Path]:
+    """Write ``manifest.json`` + ``series.jsonl``; returns both paths.
+
+    The stamp embeds wall time and pid so concurrent invocations never
+    collide; the manifest's ``series_file`` field is filled in with the
+    series file's basename.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%d-%H%M%S") + f"-{os.getpid()}"
+    manifest_path = directory / f"{stamp}-{command}.manifest.json"
+    series_path = directory / f"{stamp}-{command}.series.jsonl"
+    with series_path.open("w", encoding="utf-8") as handle:
+        for key, telemetry in aggregate.runs:
+            line = {
+                "kind": "metrics",
+                "run": key,
+                "metrics": telemetry.registry.snapshot(),
+            }
+            handle.write(json.dumps(line) + "\n")
+            for series in telemetry.series:
+                line = {"kind": "series", "run": key, **series.to_dict()}
+                handle.write(json.dumps(line) + "\n")
+    manifest = dict(manifest)
+    manifest["series_file"] = series_path.name
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return manifest_path, series_path
+
+
+# ----------------------------------------------------------------------
+def load_manifest(path: str | Path) -> dict:
+    """Read one manifest document back."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def load_series(
+    path: str | Path,
+) -> tuple[dict[tuple[str, str], TimeSeries], dict[str, dict]]:
+    """Read a series JSONL back: ``((run, name) -> series, run -> metrics)``.
+
+    Torn trailing lines (a killed process) are skipped, mirroring the
+    journal's failure policy.
+    """
+    series: dict[tuple[str, str], TimeSeries] = {}
+    metrics: dict[str, dict] = {}
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if entry.get("kind") == "series":
+                series[(entry["run"], entry["name"])] = TimeSeries.from_dict(entry)
+            elif entry.get("kind") == "metrics":
+                metrics[entry["run"]] = entry["metrics"]
+    return series, metrics
+
+
+def latest_manifest(directory: str | Path) -> Path | None:
+    """The newest ``*.manifest.json`` under ``directory``, if any."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates = sorted(directory.glob("*.manifest.json"))
+    return candidates[-1] if candidates else None

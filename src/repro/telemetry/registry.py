@@ -1,0 +1,220 @@
+"""A lightweight metrics registry: counters, gauges, fixed-bucket histograms.
+
+Telemetry must never distort what it measures, so the design favors
+allocation-light primitives: a metric is created once (``counter()`` /
+``gauge()`` / ``histogram()`` are get-or-create) and hot paths hold the
+returned object and bump plain attributes.  With telemetry disabled the
+rest of the system keeps a single ``None`` check per instrumented
+operation -- see the ``BENCH_telemetry_baseline.json`` guard in CI.
+
+Snapshots are plain JSON-compatible dicts; merging two snapshots (or a
+snapshot into a registry) is the worker-to-parent aggregation seam the
+runtime uses, exactly like :class:`repro.runtime.cache.CacheStats`.
+Merge order is significant for float sums (addition is not
+associative), so every aggregation path in the runtime folds run
+telemetry in *item order* -- that is what makes ``--jobs N`` output
+bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_EDGES",
+]
+
+#: Fixed bucket edges (in simulation time units) for end-to-end latency
+#: histograms.  Fixed -- not adapted per run -- so histograms from any
+#: two runs merge bucket-by-bucket.
+DEFAULT_LATENCY_EDGES: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing integer."""
+
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """A last-value-wins float (merge keeps the merged-in value)."""
+
+    value: float = 0.0
+    set_count: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.set_count += 1
+
+
+class Histogram:
+    """Fixed-bucket-edge histogram.
+
+    ``edges`` must be strictly increasing; bucket ``i`` counts values in
+    ``(edges[i-1], edges[i]]`` with bucket 0 catching ``(-inf, edges[0]]``
+    and a final overflow bucket catching ``(edges[-1], inf)``.  Two
+    histograms merge iff their edges are identical.
+    """
+
+    __slots__ = ("edges", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, edges: tuple[float, ...]) -> None:
+        if len(edges) < 1:
+            raise ValueError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"bucket edges must be strictly increasing, got {edges}")
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    def merge_dict(self, data: dict) -> None:
+        if list(self.edges) != [float(e) for e in data["edges"]]:
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{list(self.edges)} vs {data['edges']}"
+            )
+        for i, c in enumerate(data["counts"]):
+            self.counts[i] += int(c)
+        self.count += int(data["count"])
+        self.sum += float(data["sum"])
+        if data["min"] is not None and data["min"] < self.min:
+            self.min = float(data["min"])
+        if data["max"] is not None and data["max"] > self.max:
+            self.max = float(data["max"])
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with get-or-create access.
+
+    Examples
+    --------
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("sim/drops").inc()
+    >>> reg.histogram("latency", edges=(1.0, 10.0)).observe(3.0)
+    >>> reg.snapshot()["counters"]["sim/drops"]
+    1
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, edges: tuple[float, ...] = DEFAULT_LATENCY_EDGES
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(edges)
+        elif metric.edges != tuple(float(e) for e in edges):
+            raise ValueError(
+                f"histogram {name!r} already registered with edges {metric.edges}"
+            )
+        return metric
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot, deterministically key-ordered."""
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].to_dict() for k in sorted(self._histograms)
+            },
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a snapshot into this registry (counters/histograms add,
+        gauges take the merged-in value)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, data in snapshot.get("histograms", {}).items():
+            self.histogram(name, edges=tuple(data["edges"])).merge_dict(data)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_snapshot(other.snapshot())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms)"
+        )
+
+
+# Dataclass-style pickling support: registries travel from pool workers
+# to the parent inside SimulationResult objects.
+def _registry_getstate(self: MetricsRegistry) -> dict:
+    return {
+        "counters": {k: v.value for k, v in self._counters.items()},
+        "gauges": {k: (v.value, v.set_count) for k, v in self._gauges.items()},
+        "histograms": {k: v.to_dict() for k, v in self._histograms.items()},
+    }
+
+
+def _registry_setstate(self: MetricsRegistry, state: dict) -> None:
+    self._counters = {k: Counter(v) for k, v in state["counters"].items()}
+    self._gauges = {
+        k: Gauge(value, count) for k, (value, count) in state["gauges"].items()
+    }
+    self._histograms = {}
+    for k, data in state["histograms"].items():
+        hist = Histogram(tuple(data["edges"]))
+        hist.merge_dict(data)
+        self._histograms[k] = hist
+
+
+MetricsRegistry.__getstate__ = _registry_getstate  # type: ignore[attr-defined]
+MetricsRegistry.__setstate__ = _registry_setstate  # type: ignore[attr-defined]

@@ -1,0 +1,87 @@
+"""Minimal JSON-schema validation for run manifests.
+
+CI validates every emitted manifest against the checked-in
+``run_manifest.schema.json``.  The container ships no ``jsonschema``
+package, so this module implements the small subset of JSON Schema the
+manifest schema actually uses: ``type``, ``required``, ``properties``,
+``additionalProperties``, ``items``, ``enum``, ``minimum``, and the
+list-of-types form of ``type`` (for nullable fields).
+
+Errors are collected (not raised one at a time) so a CI failure shows
+every violation at once.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["load_manifest_schema", "validate", "SchemaError"]
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+class SchemaError(ValueError):
+    """Raised by :func:`validate` with every violation found."""
+
+    def __init__(self, errors: list[str]) -> None:
+        self.errors = errors
+        super().__init__("; ".join(errors))
+
+
+def load_manifest_schema() -> dict:
+    """The checked-in run-manifest schema, as a dict."""
+    path = Path(__file__).with_name("run_manifest.schema.json")
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _check(value, schema: dict, path: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            errors.append(
+                f"{path}: expected {' or '.join(types)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if not isinstance(value, bool) and value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required property {key!r}")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in value:
+                _check(value[key], sub, f"{path}.{key}", errors)
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in properties:
+                    errors.append(f"{path}: unexpected property {key!r}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _check(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate(document, schema: dict | None = None) -> None:
+    """Validate ``document``; raises :class:`SchemaError` listing every
+    violation.  With no explicit schema, the run-manifest schema is used.
+    """
+    if schema is None:
+        schema = load_manifest_schema()
+    errors: list[str] = []
+    _check(document, schema, "$", errors)
+    if errors:
+        raise SchemaError(errors)

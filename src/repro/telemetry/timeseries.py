@@ -1,0 +1,183 @@
+"""Time-series recording and analysis for instrumented simulations.
+
+A :class:`TimeSeries` is a pair of parallel float lists -- sample times
+and values -- appended on every instrumented event (buffer admissions,
+releases, preemptions).  The series semantics are *step functions*: a
+sampled value holds from its sample time until the next sample, which is
+exactly how buffer occupancy behaves between events.
+
+Analysis helpers work on that step interpretation:
+
+* :func:`time_average` -- the time-weighted mean over a window, the
+  quantity the M/M/k/k and M/M/infinity occupancy predictions speak
+  about (Section 4 of the paper);
+* :func:`windowed_rate` -- events-per-time over a sliding window, for
+  drop / preemption / retransmission rate curves;
+* :func:`resample_step` -- step-function values at evenly spaced probe
+  times, the charting backend.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = [
+    "TimeSeries",
+    "TimeSeriesStore",
+    "time_average",
+    "windowed_rate",
+    "resample_step",
+]
+
+
+@dataclass
+class TimeSeries:
+    """One named series of (time, value) samples, appended in time order."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def time_average(
+        self, start: float = 0.0, end: float | None = None, initial: float = 0.0
+    ) -> float:
+        """Step-weighted mean of this series over ``[start, end]``."""
+        if end is None:
+            end = self.times[-1] if self.times else start
+        return time_average(self.times, self.values, start, end, initial=initial)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "times": list(self.times), "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimeSeries":
+        return cls(
+            name=str(data["name"]),
+            times=[float(t) for t in data["times"]],
+            values=[float(v) for v in data["values"]],
+        )
+
+
+class TimeSeriesStore:
+    """Named time series with get-or-create access (one per run)."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, TimeSeries] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = TimeSeries(name)
+        return series
+
+    def get(self, name: str) -> TimeSeries | None:
+        return self._series.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __iter__(self):
+        for name in self.names():
+            yield self._series[name]
+
+    def __getstate__(self) -> dict:
+        return {"series": {k: v.to_dict() for k, v in self._series.items()}}
+
+    def __setstate__(self, state: dict) -> None:
+        self._series = {
+            k: TimeSeries.from_dict(v) for k, v in state["series"].items()
+        }
+
+
+# ----------------------------------------------------------------------
+def time_average(
+    times: Sequence[float],
+    values: Sequence[float],
+    start: float,
+    end: float,
+    initial: float = 0.0,
+) -> float:
+    """Time-weighted mean of a step function over ``[start, end]``.
+
+    ``values[i]`` holds on ``[times[i], times[i+1])``; before the first
+    sample the value is ``initial`` (a simulation starts with empty
+    buffers).  Samples outside the window contribute only the portion
+    inside it.
+    """
+    if len(times) != len(values):
+        raise ValueError("times and values must be the same length")
+    if end < start:
+        raise ValueError(f"window end {end:g} precedes start {start:g}")
+    if end == start:
+        return float(initial)
+    integral = 0.0
+    current = float(initial)
+    cursor = start
+    for t, v in zip(times, values):
+        if t <= start:
+            current = float(v)
+            continue
+        if t >= end:
+            break
+        integral += current * (t - cursor)
+        cursor = t
+        current = float(v)
+    integral += current * (end - cursor)
+    return integral / (end - start)
+
+
+def windowed_rate(
+    event_times: Sequence[float],
+    window: float,
+    t_end: float,
+    n_points: int = 64,
+) -> TimeSeries:
+    """Sliding-window event rate: events in ``(t - window, t]`` / window.
+
+    Probes ``n_points`` evenly spaced times over ``[window, t_end]``
+    (or ``[t_end, t_end]`` when the horizon is shorter than the window).
+    ``event_times`` must be sorted ascending, which is how the
+    simulator records them.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if n_points < 1:
+        raise ValueError(f"need at least one probe point, got {n_points}")
+    series = TimeSeries(name=f"rate[w={window:g}]")
+    lo = min(window, t_end)
+    span = t_end - lo
+    for i in range(n_points):
+        t = lo + span * i / max(1, n_points - 1)
+        n = bisect_right(event_times, t) - bisect_right(event_times, t - window)
+        series.append(t, n / window)
+    return series
+
+
+def resample_step(
+    times: Sequence[float],
+    values: Sequence[float],
+    probe_times: Sequence[float],
+    initial: float = 0.0,
+) -> list[float]:
+    """Step-function values at each probe time (probes sorted ascending)."""
+    out: list[float] = []
+    index = 0
+    current = float(initial)
+    for t in probe_times:
+        while index < len(times) and times[index] <= t:
+            current = float(values[index])
+            index += 1
+        out.append(current)
+    return out

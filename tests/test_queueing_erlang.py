@@ -54,6 +54,23 @@ class TestErlangB:
         with pytest.raises(TypeError):
             erlang_b(1.0, 2.5)  # type: ignore[arg-type]
 
+    def test_numpy_integer_servers_accepted(self):
+        np = pytest.importorskip("numpy")
+        assert erlang_b(2.0, np.int64(4)) == pytest.approx(erlang_b(2.0, 4))
+        assert erlang_b_direct(2.0, np.int32(4)) == pytest.approx(erlang_b(2.0, 4))
+
+    def test_bool_servers_rejected(self):
+        """bool is index-able as 0/1 but a boolean server count is a bug."""
+        with pytest.raises(TypeError, match="bool"):
+            erlang_b(1.0, True)  # type: ignore[arg-type]
+        with pytest.raises(TypeError, match="bool"):
+            erlang_b_direct(1.0, False)  # type: ignore[arg-type]
+
+    def test_string_servers_raise_type_error_not_comparison(self):
+        """Type check fires before the range check: no str/int comparison."""
+        with pytest.raises(TypeError, match="str"):
+            erlang_b(1.0, "3")  # type: ignore[arg-type]
+
     def test_huge_capacity_is_stable(self):
         """The recursion must not overflow where factorials would."""
         assert 0.0 <= erlang_b(500.0, 600) <= 1.0
@@ -122,6 +139,19 @@ class TestInverseProblems:
     def test_zero_servers_rejected(self):
         with pytest.raises(ValueError):
             offered_load_for_target_loss(0, 0.1)
+
+    def test_inverse_problems_type_check_servers(self):
+        with pytest.raises(TypeError, match="str"):
+            offered_load_for_target_loss("10", 0.1)  # type: ignore[arg-type]
+        with pytest.raises(TypeError, match="bool"):
+            mu_for_target_loss(1.0, True, 0.1)  # type: ignore[arg-type]
+
+    def test_inverse_problems_accept_numpy_servers(self):
+        np = pytest.importorskip("numpy")
+        rho = offered_load_for_target_loss(np.int64(10), 0.1)
+        assert erlang_b(rho, 10) == pytest.approx(0.1, abs=1e-9)
+        mu = mu_for_target_loss(0.5, np.int64(10), 0.05)
+        assert erlang_b(0.5 / mu, 10) == pytest.approx(0.05, abs=1e-9)
 
     @given(
         st.integers(min_value=1, max_value=40),

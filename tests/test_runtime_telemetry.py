@@ -1,0 +1,130 @@
+"""Runtime-level telemetry: bit-identical aggregation under any jobs count."""
+
+import json
+
+import pytest
+
+from repro.analysis.sweep import sweep
+from repro.runtime import RetryPolicy, use_runtime
+from repro.runtime.context import run_simulation
+from repro.sim.config import SimulationConfig
+
+
+def _config(seed):
+    return SimulationConfig.paper_baseline(
+        interarrival=4.0, case="rcad", n_packets=40, seed=seed
+    )
+
+
+def _sweep_mse(seeds, **runtime_kwargs):
+    """Run one tiny sweep; returns (per-seed results, telemetry snapshot)."""
+    with use_runtime(telemetry=True, **runtime_kwargs) as ctx:
+        results = sweep(list(seeds), lambda s: run_simulation(_config(s)))
+        snapshot = json.dumps(ctx.telemetry.snapshot(), sort_keys=True)
+        run_keys = [k for k, _ in ctx.telemetry.runs]
+    return results, snapshot, run_keys
+
+
+class TestAggregation:
+    def test_telemetry_disabled_by_default(self):
+        with use_runtime() as ctx:
+            result = run_simulation(_config(0))
+        assert ctx.telemetry is None
+        assert result.telemetry is None
+
+    def test_enabled_context_forces_instrumentation(self):
+        with use_runtime(telemetry=True) as ctx:
+            result = run_simulation(_config(0))
+        assert result.telemetry is not None
+        assert ctx.telemetry.n_runs == 1
+
+    def test_cache_hit_republishes_telemetry(self, tmp_path):
+        from repro.runtime import ResultCache
+
+        cache = ResultCache(tmp_path)
+        with use_runtime(telemetry=True, cache=cache) as first:
+            run_simulation(_config(0))
+        with use_runtime(telemetry=True, cache=cache) as second:
+            run_simulation(_config(0))
+        assert cache.stats.hits == 1
+        assert json.dumps(first.telemetry.snapshot(), sort_keys=True) == json.dumps(
+            second.telemetry.snapshot(), sort_keys=True
+        )
+
+    def test_parallel_merge_is_bit_identical_to_serial(self):
+        seeds = [0, 1, 2, 3, 4, 5]
+        _, serial, serial_keys = _sweep_mse(seeds, jobs=1)
+        _, parallel, parallel_keys = _sweep_mse(seeds, jobs=4)
+        assert parallel == serial
+        assert parallel_keys == serial_keys  # item order, not completion order
+
+    def test_supervised_retry_merge_is_bit_identical(self):
+        seeds = [0, 1, 2, 3, 4, 5]
+        _, serial, _ = _sweep_mse(seeds, jobs=1)
+        _, supervised, _ = _sweep_mse(
+            seeds, jobs=4, retry=RetryPolicy(max_attempts=2)
+        )
+        assert supervised == serial
+
+    def test_retried_item_publishes_once(self):
+        """A failed attempt's captured telemetry must be discarded."""
+        attempts = {"n": 0}
+
+        def flaky(seed):
+            attempts["n"] += 1
+            result = run_simulation(_config(seed))
+            if attempts["n"] == 1:
+                raise RuntimeError("transient")
+            return result
+
+        with use_runtime(
+            telemetry=True, retry=RetryPolicy(max_attempts=3, backoff=0.0)
+        ) as ctx:
+            sweep([0], flaky)
+        assert attempts["n"] == 2
+        assert ctx.telemetry.n_runs == 1
+
+
+class TestRuntimeStats:
+    def test_sim_seconds_accrue(self):
+        with use_runtime(telemetry=True) as ctx:
+            run_simulation(_config(0))
+        assert ctx.stats.simulations == 1
+        assert ctx.stats.sim_seconds > 0.0
+
+    def test_sim_seconds_merge_from_workers(self):
+        with use_runtime(telemetry=True, jobs=2) as ctx:
+            sweep([0, 1, 2], lambda s: run_simulation(_config(s)))
+        assert ctx.stats.simulations == 3
+        assert ctx.stats.sim_seconds > 0.0
+
+    def test_uses_monotonic_clock(self, monkeypatch):
+        """Regression: a wall-clock step backwards must not yield a
+        negative duration (context.py once mixed perf_counter/time)."""
+        import repro.runtime.context as context_module
+
+        ticks = iter([100.0, 100.5])
+        monkeypatch.setattr(
+            context_module.time, "monotonic", lambda: next(ticks)
+        )
+        stats = context_module.RuntimeStats()
+        ctx = context_module.RuntimeContext(stats=stats)
+        monkeypatch.setattr(
+            context_module, "current_runtime", lambda: ctx
+        )
+        run_simulation(_config(0))
+        assert stats.sim_seconds == pytest.approx(0.5)
+
+    def test_stats_delta_and_merge_round_trip(self):
+        from repro.runtime import RuntimeStats
+
+        stats = RuntimeStats(simulations=2, sim_seconds=1.5)
+        before = stats.snapshot()
+        stats.simulations += 3
+        stats.sim_seconds += 0.5
+        delta = stats.delta_since(before)
+        assert delta.simulations == 3
+        assert delta.sim_seconds == pytest.approx(0.5)
+        before.merge(delta)
+        assert before.simulations == stats.simulations
+        assert before.sim_seconds == pytest.approx(stats.sim_seconds)

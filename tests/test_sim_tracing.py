@@ -39,6 +39,22 @@ class TestTraceEvent:
         with pytest.raises(ValueError):
             TraceEvent(time=0.0, kind="teleported", node=1)
 
+    def test_unknown_kind_rejected_via_add(self):
+        """PacketTrace.add validates too (it builds a TraceEvent)."""
+        trace = PacketTrace(flow_id=1, packet_id=0)
+        with pytest.raises(ValueError, match="teleported"):
+            trace.add(0.0, "teleported", 0)
+
+    def test_every_documented_kind_accepted(self):
+        from repro.sim.tracing import EVENT_KINDS
+
+        for kind in EVENT_KINDS:
+            TraceEvent(time=0.0, kind=kind, node=1)
+
+    def test_error_message_lists_legal_kinds(self):
+        with pytest.raises(ValueError, match="delivered"):
+            TraceEvent(time=0.0, kind="", node=1)
+
     def test_out_of_order_rejected(self):
         trace = PacketTrace(flow_id=1, packet_id=0)
         trace.add(5.0, "created", 0)

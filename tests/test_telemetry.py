@@ -1,0 +1,317 @@
+"""Unit tests for the telemetry package: registry, series, manifests."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_LATENCY_EDGES,
+    CaptureSink,
+    Histogram,
+    MetricsRegistry,
+    RunTelemetry,
+    SchemaError,
+    TelemetryAggregate,
+    TimeSeries,
+    build_manifest,
+    latest_manifest,
+    load_manifest,
+    load_manifest_schema,
+    load_series,
+    validate,
+    write_run_artifacts,
+)
+from repro.telemetry.timeseries import resample_step, time_average, windowed_rate
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(3)
+        assert reg.snapshot()["counters"]["a"] == 4
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.0)
+        reg.gauge("g").set(7.5)
+        assert reg.snapshot()["gauges"]["g"] == 7.5
+        assert reg.gauge("g").set_count == 2
+
+    def test_histogram_bucket_edges(self):
+        h = Histogram(edges=(1.0, 2.0, 5.0))
+        # bucket semantics: (-inf,1], (1,2], (2,5], (5,inf)
+        for v in (0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 100.0):
+            h.observe(v)
+        assert h.counts == [2, 2, 2, 1]
+        assert h.count == 7
+        assert h.min == 0.5
+        assert h.max == 100.0
+
+    def test_histogram_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=())
+        with pytest.raises(ValueError):
+            Histogram(edges=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(edges=(2.0, 1.0))
+
+    def test_histogram_merge_requires_identical_edges(self):
+        a = Histogram(edges=(1.0, 2.0))
+        b = Histogram(edges=(1.0, 3.0))
+        b.observe(1.5)
+        with pytest.raises(ValueError, match="different edges"):
+            a.merge_dict(b.to_dict())
+
+    def test_histogram_merge_adds_buckets_and_extremes(self):
+        a = Histogram(edges=(1.0, 2.0))
+        a.observe(0.5)
+        b = Histogram(edges=(1.0, 2.0))
+        b.observe(5.0)
+        a.merge_dict(b.to_dict())
+        assert a.counts == [1, 0, 1]
+        assert a.count == 2
+        assert a.min == 0.5 and a.max == 5.0
+
+    def test_empty_histogram_merges_harmlessly(self):
+        a = Histogram(edges=(1.0,))
+        a.observe(0.5)
+        a.merge_dict(Histogram(edges=(1.0,)).to_dict())
+        assert a.count == 1 and a.min == 0.5
+
+    def test_histogram_redefinition_with_other_edges_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("h", edges=(1.0, 3.0))
+
+    def test_default_latency_edges_are_increasing(self):
+        assert list(DEFAULT_LATENCY_EDGES) == sorted(DEFAULT_LATENCY_EDGES)
+        assert len(set(DEFAULT_LATENCY_EDGES)) == len(DEFAULT_LATENCY_EDGES)
+
+    def test_snapshot_round_trips_through_merge(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(3.0)
+        reg.histogram("h", edges=(1.0, 2.0)).observe(1.5)
+        other = MetricsRegistry()
+        other.merge_snapshot(reg.snapshot())
+        assert other.snapshot() == reg.snapshot()
+
+    def test_snapshot_is_json_serializable_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        json.dumps(snap)
+        assert list(snap["counters"]) == ["a", "z"]
+
+    def test_registry_pickles(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(2.0)
+        reg.histogram("h", edges=(1.0,)).observe(0.5)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.snapshot() == reg.snapshot()
+        assert clone.gauge("g").set_count == reg.gauge("g").set_count
+
+
+class TestTimeSeries:
+    def test_time_average_step_semantics(self):
+        # value 0 on [0,1), 2 on [1,3), 4 from 3 on.
+        times, values = [1.0, 3.0], [2.0, 4.0]
+        assert time_average(times, values, 0.0, 4.0) == pytest.approx(
+            (0 * 1 + 2 * 2 + 4 * 1) / 4.0
+        )
+
+    def test_time_average_window_inside_steps(self):
+        times, values = [1.0, 3.0], [2.0, 4.0]
+        assert time_average(times, values, 1.5, 2.5) == pytest.approx(2.0)
+        assert time_average(times, values, 10.0, 20.0) == pytest.approx(4.0)
+
+    def test_time_average_initial_value(self):
+        assert time_average([], [], 0.0, 5.0, initial=3.0) == pytest.approx(3.0)
+
+    def test_time_average_degenerate_window(self):
+        assert time_average([1.0], [2.0], 5.0, 5.0, initial=9.0) == 9.0
+        with pytest.raises(ValueError):
+            time_average([1.0], [2.0], 5.0, 4.0)
+
+    def test_series_time_average_matches_function(self):
+        s = TimeSeries("x")
+        s.append(1.0, 2.0)
+        s.append(3.0, 4.0)
+        assert s.time_average(0.0, 4.0) == pytest.approx(
+            time_average(s.times, s.values, 0.0, 4.0)
+        )
+
+    def test_series_dict_round_trip(self):
+        s = TimeSeries("x")
+        s.append(1.0, 2.0)
+        clone = TimeSeries.from_dict(s.to_dict())
+        assert clone.name == "x"
+        assert clone.times == s.times and clone.values == s.values
+
+    def test_windowed_rate_counts_window_events(self):
+        # 10 events at t=1..10; window 5 probed at t=10 sees 5 events.
+        events = [float(t) for t in range(1, 11)]
+        series = windowed_rate(events, window=5.0, t_end=10.0, n_points=2)
+        assert series.times == [5.0, 10.0]
+        assert series.values[-1] == pytest.approx(1.0)  # 5 events / 5 units
+
+    def test_windowed_rate_validates(self):
+        with pytest.raises(ValueError):
+            windowed_rate([], window=0.0, t_end=1.0)
+        with pytest.raises(ValueError):
+            windowed_rate([], window=1.0, t_end=1.0, n_points=0)
+
+    def test_resample_step(self):
+        assert resample_step([1.0, 3.0], [2.0, 4.0], [0.5, 1.0, 2.0, 3.5]) == [
+            0.0, 2.0, 2.0, 4.0,
+        ]
+
+
+class TestAggregate:
+    def test_publication_order_preserved(self):
+        agg = TelemetryAggregate()
+        for key in ("b", "a", "c"):
+            agg.add_run(key, RunTelemetry())
+        assert [k for k, _ in agg.runs] == ["b", "a", "c"]
+
+    def test_capture_diverts_and_replay_restores(self):
+        agg = TelemetryAggregate()
+        with agg.capture() as sink:
+            agg.add_run("x", RunTelemetry())
+        assert agg.n_runs == 0
+        assert [k for k, _ in sink.runs] == ["x"]
+        agg.replay(sink.runs)
+        assert [k for k, _ in agg.runs] == ["x"]
+
+    def test_nested_capture_uses_innermost(self):
+        agg = TelemetryAggregate()
+        with agg.capture() as outer:
+            with agg.capture() as inner:
+                agg.add_run("deep", RunTelemetry())
+            assert not outer.runs and len(inner.runs) == 1
+
+    def test_merged_registry_sums_counters(self):
+        agg = TelemetryAggregate()
+        for n in (1, 2):
+            run = RunTelemetry()
+            run.registry.counter("sim/drops").inc(n)
+            agg.add_run(f"run{n}", run)
+        assert agg.snapshot()["counters"]["sim/drops"] == 3
+
+    def test_capture_sink_is_plain_list(self):
+        sink = CaptureSink()
+        sink.add("k", RunTelemetry())
+        assert len(sink.runs) == 1
+
+
+def _manifest(aggregate=None, **kwargs):
+    if aggregate is None:
+        aggregate = TelemetryAggregate()
+        run = RunTelemetry()
+        run.registry.counter("sim/drops").inc(2)
+        run.series.series("occupancy/node-1").append(0.0, 1.0)
+        aggregate.add_run("cafe" * 16, run)
+    defaults = dict(
+        command="run",
+        argv=["run", "--telemetry"],
+        aggregate=aggregate,
+        wall_time_seconds=1.5,
+        seed=0,
+        jobs=2,
+        simulations=1,
+        sim_seconds=0.4,
+        started_at=1_700_000_000.0,
+    )
+    defaults.update(kwargs)
+    return build_manifest(**defaults), aggregate
+
+
+class TestManifest:
+    def test_build_manifest_validates_against_schema(self):
+        manifest, _ = _manifest()
+        validate(manifest)
+
+    def test_config_fingerprint_is_order_independent(self):
+        a = TelemetryAggregate()
+        b = TelemetryAggregate()
+        for key in ("k1", "k2"):
+            a.add_run(key, RunTelemetry())
+        for key in ("k2", "k1"):
+            b.add_run(key, RunTelemetry())
+        ma, _ = _manifest(aggregate=a)
+        mb, _ = _manifest(aggregate=b)
+        assert ma["config_fingerprint"] == mb["config_fingerprint"]
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        manifest, aggregate = _manifest()
+        manifest_path, series_path = write_run_artifacts(
+            tmp_path, "run", manifest, aggregate
+        )
+        loaded = load_manifest(manifest_path)
+        validate(loaded)
+        assert loaded["series_file"] == series_path.name
+        assert loaded["metrics"]["counters"]["sim/drops"] == 2
+        series, metrics = load_series(series_path)
+        run_key = loaded["runs"][0]
+        assert series[(run_key, "occupancy/node-1")].values == [1.0]
+        assert metrics[run_key]["counters"]["sim/drops"] == 2
+
+    def test_load_series_skips_torn_lines(self, tmp_path):
+        manifest, aggregate = _manifest()
+        _, series_path = write_run_artifacts(tmp_path, "run", manifest, aggregate)
+        with series_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "series", "run": "x", "na')  # torn write
+        series, _ = load_series(series_path)
+        assert all(key != "x" for key, _ in series)
+
+    def test_latest_manifest(self, tmp_path):
+        assert latest_manifest(tmp_path / "missing") is None
+        assert latest_manifest(tmp_path) is None
+        (tmp_path / "20240101-000000-1-run.manifest.json").write_text("{}")
+        (tmp_path / "20250101-000000-1-run.manifest.json").write_text("{}")
+        found = latest_manifest(tmp_path)
+        assert found is not None and found.name.startswith("20250101")
+
+
+class TestSchemaValidator:
+    def test_schema_loads(self):
+        schema = load_manifest_schema()
+        assert schema["type"] == "object"
+
+    def test_missing_required_and_extra_property_both_reported(self):
+        manifest, _ = _manifest()
+        del manifest["command"]
+        manifest["surprise"] = 1
+        with pytest.raises(SchemaError) as excinfo:
+            validate(manifest)
+        messages = "; ".join(excinfo.value.errors)
+        assert "command" in messages and "surprise" in messages
+
+    def test_type_violations_detected(self):
+        manifest, _ = _manifest()
+        manifest["wall_time_seconds"] = "fast"
+        manifest["runs"] = [1]
+        with pytest.raises(SchemaError) as excinfo:
+            validate(manifest)
+        assert len(excinfo.value.errors) == 2
+
+    def test_bool_is_not_an_integer(self):
+        manifest, _ = _manifest()
+        manifest["schema_version"] = True
+        with pytest.raises(SchemaError):
+            validate(manifest)
+
+    def test_minimum_enforced(self):
+        manifest, _ = _manifest()
+        manifest["wall_time_seconds"] = -1.0
+        with pytest.raises(SchemaError, match="minimum"):
+            validate(manifest)
+
+    def test_nullable_fields(self):
+        manifest, _ = _manifest(seed=None, cache_stats=None)
+        validate(manifest)
