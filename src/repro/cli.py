@@ -15,7 +15,15 @@ code.  Commands:
 * ``metrics`` -- summarize a telemetry run manifest (``--series`` /
   ``--chart`` inspect the recorded time series);
 * ``cache`` -- inspect and heal the on-disk result cache
-  (``stats`` / ``verify`` / ``purge`` / ``prune --max-bytes N``).
+  (``stats`` / ``verify`` / ``purge`` / ``prune --max-bytes N``);
+* ``serve`` -- run the streaming temporal-privacy service against a
+  closed-loop load generator: sharded delay buffers, the tiered
+  degradation ladder, Prometheus ``/metrics`` plus ``/healthz`` and
+  ``/readyz`` probes, crash-safe snapshots (SIGTERM persists every
+  buffered event; the next ``serve --snapshot`` restores them) and
+  clean drain on SIGINT or end of load.  ``serve --bench`` runs the
+  two-phase service benchmark instead and prints the
+  ``BENCH_service.json`` payload.
 
 Common options: ``--packets`` (default 1000, the paper's size; use a
 smaller value for a fast look), ``--seed``, and for ``fig2``/``fig3``
@@ -234,6 +242,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict --chart occupancy to one node id",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the streaming temporal-privacy service with a "
+        "closed-loop load generator",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4, help="independent buffer shards"
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=64, help="buffer slots per shard"
+    )
+    serve.add_argument(
+        "--max-buffered", type=int, default=256,
+        help="global bound on buffered events; beyond it arrivals are shed",
+    )
+    serve.add_argument(
+        "--mean-delay", type=float, default=0.05,
+        help="mean exponential added delay in seconds",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="root random seed")
+    serve.add_argument(
+        "--rate", type=float, default=500.0, help="mean offered events/second"
+    )
+    serve.add_argument(
+        "--flows", type=int, default=8, help="synthetic flow ids to round-robin"
+    )
+    serve.add_argument(
+        "--events", type=int, default=1000,
+        help="events to generate (0 = no load: restore a snapshot and drain)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="generate rate*duration events instead of --events",
+    )
+    serve.add_argument(
+        "--burst-factor", type=float, default=1.0,
+        help="1 = steady Poisson arrivals; >1 = Markov on/off bursts at "
+        "rate*burst-factor during ON periods (same mean rate)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="metrics/health HTTP port (0 = ephemeral, printed at start; "
+        "-1 = no HTTP endpoint)",
+    )
+    serve.add_argument(
+        "--snapshot", type=str, default=None, metavar="PATH",
+        help="crash-safe snapshot file: SIGTERM persists buffered events "
+        "here, the next serve restores them",
+    )
+    serve.add_argument(
+        "--report", type=str, default=None, metavar="PATH",
+        help="write a JSON run report (outcomes, releases, stats) to PATH",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="max wall time to wait for buffers to empty on drain",
+    )
+    serve.add_argument(
+        "--bench", action="store_true",
+        help="run the two-phase service benchmark (steady + overload) and "
+        "print the BENCH_service.json payload",
+    )
+
     cache = commands.add_parser(
         "cache", help="inspect and heal the on-disk result cache"
     )
@@ -266,6 +337,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="target size of the entry store in bytes",
     )
     return parser
+
+
+def _validate_runtime_options(args: argparse.Namespace) -> None:
+    """Reject nonsensical runtime options up front.
+
+    A negative ``--jobs`` / ``--retries`` / ``--item-timeout`` used to
+    surface as a deep traceback from the executor or supervisor; fail
+    fast with the same style of message ``_parse_sweep`` uses.
+    """
+    if args.jobs < 0:
+        raise SystemExit(
+            f"--jobs must be non-negative (0 = one per CPU), got {args.jobs}"
+        )
+    if args.retries < 0:
+        raise SystemExit(f"--retries must be non-negative, got {args.retries}")
+    if args.item_timeout is not None and args.item_timeout <= 0:
+        raise SystemExit(
+            f"--item-timeout must be a positive number of seconds, "
+            f"got {args.item_timeout:g}"
+        )
 
 
 def _parse_sweep(raw: str) -> tuple[float, ...]:
@@ -543,6 +634,184 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_serve_options(args: argparse.Namespace) -> None:
+    if args.rate <= 0:
+        raise SystemExit(f"--rate must be positive, got {args.rate:g}")
+    if args.flows < 1:
+        raise SystemExit(f"--flows must be at least 1, got {args.flows}")
+    if args.events < 0:
+        raise SystemExit(f"--events must be non-negative, got {args.events}")
+    if args.duration is not None and args.duration <= 0:
+        raise SystemExit(f"--duration must be positive, got {args.duration:g}")
+    if args.burst_factor < 1.0:
+        raise SystemExit(
+            f"--burst-factor must be at least 1, got {args.burst_factor:g}"
+        )
+    if args.port < -1:
+        raise SystemExit(f"--port must be -1, 0 or a port number, got {args.port}")
+    if args.drain_timeout <= 0:
+        raise SystemExit(
+            f"--drain-timeout must be positive, got {args.drain_timeout:g}"
+        )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from repro.service import (
+        MetricsServer,
+        ServiceConfig,
+        ServiceLoadGenerator,
+        TemporalPrivacyService,
+    )
+    from repro.traffic import MarkovOnOffTraffic, PoissonTraffic
+
+    _validate_serve_options(args)
+    if args.bench:
+        from repro.service.bench import run_service_bench
+
+        payload = asyncio.run(
+            run_service_bench(
+                n_events=args.events or 1000,
+                mean_delay=args.mean_delay,
+                seed=args.seed,
+            )
+        )
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        print(text)
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.report}")
+        return 0
+
+    try:
+        config = ServiceConfig(
+            shards=args.shards,
+            shard_capacity=args.capacity,
+            max_buffered_total=args.max_buffered,
+            mean_delay=args.mean_delay,
+            seed=args.seed,
+            snapshot_path=args.snapshot,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    if args.burst_factor > 1.0:
+        # Same mean rate as the Poisson case: ON at rate*factor for a
+        # duty cycle of 1/factor.
+        mean_on = 0.1
+        model = MarkovOnOffTraffic(
+            burst_rate=args.rate * args.burst_factor,
+            mean_on=mean_on,
+            mean_off=mean_on * (args.burst_factor - 1.0),
+        )
+    else:
+        model = PoissonTraffic(rate=args.rate)
+    n_events = (
+        args.events if args.duration is None
+        else max(1, int(args.rate * args.duration))
+    )
+
+    async def _run() -> int:
+        service = TemporalPrivacyService(config)
+        gen = ServiceLoadGenerator(service, model, flows=args.flows, seed=args.seed)
+        service.set_on_release(gen.on_release)
+        loop = asyncio.get_running_loop()
+        sigterm = asyncio.Event()
+        sigint = asyncio.Event()
+        loop.add_signal_handler(signal.SIGTERM, sigterm.set)
+        loop.add_signal_handler(signal.SIGINT, sigint.set)
+
+        restored = await service.start()
+        if restored:
+            print(f"restored {restored} buffered events from {args.snapshot}")
+        http = None
+        if args.port >= 0:
+            http = MetricsServer(service, port=args.port)
+            await http.start()
+            print(f"serving metrics on http://127.0.0.1:{http.port}/metrics")
+        print(
+            f"service up: {config.shards} shards x {config.shard_capacity} "
+            f"slots, global bound {config.max_buffered_total}, "
+            f"mean delay {config.mean_delay:g}s", flush=True,
+        )
+
+        drive = asyncio.create_task(gen.drive(n_events))
+        waiters = {
+            asyncio.create_task(sigterm.wait()): "sigterm",
+            asyncio.create_task(sigint.wait()): "sigint",
+        }
+        done, _ = await asyncio.wait(
+            {drive, *waiters}, return_when=asyncio.FIRST_COMPLETED
+        )
+        persisted = None
+        exit_code = 0
+        if any(waiters.get(t) == "sigterm" for t in done):
+            drive.cancel()
+            persisted = await service.shutdown()
+            print(f"SIGTERM: persisted {persisted} buffered events to snapshot")
+        else:
+            if any(waiters.get(t) == "sigint" for t in done):
+                drive.cancel()
+                print("SIGINT: draining...")
+            drained = await service.drain(timeout=args.drain_timeout)
+            if not drained:
+                print(
+                    f"drain timed out after {args.drain_timeout:g}s with "
+                    f"{service.buffered_total} events still buffered"
+                )
+                exit_code = 1
+        for task in (drive, *waiters):
+            task.cancel()
+        await asyncio.gather(drive, *waiters, return_exceptions=True)
+        if http is not None:
+            await http.stop()
+
+        report = gen.report
+        stats = service.stats()
+        counters = stats["counters"]
+        print(f"submitted       : {report.submitted}")
+        print(f"admitted        : {report.admitted}")
+        print(f"released        : {counters.get('service/released', 0)} "
+              f"({counters.get('service/released-early', 0)} early)")
+        print(f"shed            : {report.shed}")
+        print(f"tier transitions: {stats['tier_transitions']}")
+        if report.wall_time > 0:
+            print(f"events/sec      : {report.submitted / report.wall_time:,.0f}")
+        if args.report:
+            payload = {
+                "submitted": report.submitted,
+                "outcomes": {k.value: v for k, v in report.outcomes.items()},
+                "restored": [
+                    [e.flow_id, e.seq] for e in service.restored_events
+                ],
+                "persisted": persisted,
+                "releases": [
+                    {
+                        "flow_id": r.event.flow_id,
+                        "seq": r.event.seq,
+                        "shard": r.shard,
+                        "admitted_at": r.admitted_at,
+                        "release_time": r.release_time,
+                        "released_at": r.released_at,
+                        "early": r.early,
+                    }
+                    for r in report.releases
+                ],
+                "stats": stats,
+            }
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote {args.report}")
+        return exit_code
+
+    return asyncio.run(_run())
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.runtime import ResultCache, default_cache_dir
 
@@ -628,6 +897,8 @@ def _main(argv: Sequence[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command not in _SIMULATION_COMMANDS:
         _dispatch(args)
         return 0
@@ -642,11 +913,8 @@ def _main(argv: Sequence[str] | None = None) -> int:
         use_runtime,
     )
 
-    if args.jobs < 0:
-        raise SystemExit(f"--jobs must be at least 1, got {args.jobs}")
+    _validate_runtime_options(args)
     jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
-    if args.retries < 0:
-        raise SystemExit(f"--retries must be non-negative, got {args.retries}")
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())

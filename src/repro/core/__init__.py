@@ -15,7 +15,10 @@
 * :mod:`repro.core.metrics` -- the paper's privacy (MSE) and
   performance (latency) metrics,
 * :mod:`repro.core.planner` -- per-node delay-parameter planners:
-  uniform, sink-weighted (Section 3.3) and Erlang-target (Section 4).
+  uniform, sink-weighted (Section 3.3) and Erlang-target (Section 4),
+* :mod:`repro.core.privacy_core` -- the clock-agnostic
+  :class:`TemporalPrivacyCore` state machine that both the DES
+  simulator and the streaming service drive.
 """
 
 from repro.core.adversary import (
@@ -56,6 +59,7 @@ from repro.core.planner import (
     SinkWeightedPlanner,
     UniformPlanner,
 )
+from repro.core.privacy_core import CoreAction, CoreDecision, TemporalPrivacyCore
 from repro.core.victim import (
     LongestRemainingDelay,
     NewestArrival,
@@ -104,4 +108,7 @@ __all__ = [
     "VarianceOptimalPlanner",
     "OptimizedAllocation",
     "optimize_path_delays",
+    "CoreAction",
+    "CoreDecision",
+    "TemporalPrivacyCore",
 ]

@@ -12,6 +12,10 @@ delay.  Three disciplines, matching the paper's three evaluation cases:
 * :class:`RcadBuffer` -- k slots; an arrival to a full buffer preempts
   a victim (default: shortest remaining delay), which is transmitted
   immediately, and the new packet takes its slot (evaluation case 3).
+  Victim selection is fully deterministic: when several entries tie on
+  the policy's criterion the lowest ``entry_id`` wins (see
+  :mod:`repro.core.victim`), which is what makes preemption order
+  replay-stable across a snapshot/restore cycle.
 
 The buffers are pure decision structures: they track occupancy and
 decide admissions, but event scheduling stays in the simulator, which
@@ -190,6 +194,32 @@ class PacketBuffer(abc.ABC):
         if not self._entries:
             return None
         return min(entry.release_time for entry in self._entries.values())
+
+    def restore_entry(
+        self, payload: Any, arrival_time: float, release_time: float
+    ) -> BufferedEntry:
+        """Reinsert an already-admitted entry (snapshot/restore seam).
+
+        Bypasses the admission decision and its counters: the entry was
+        admitted -- and counted -- by the process that wrote the
+        snapshot.  Raises ``ValueError`` instead of preempting or
+        dropping when the buffer has no free slot, because a restore
+        into a same-capacity buffer can never legitimately overflow.
+        Entries restored in their original admission order receive
+        ascending ``entry_id``\\ s, which keeps victim-policy
+        tie-breaking replay-stable across the restore.
+        """
+        if release_time < arrival_time:
+            raise ValueError(
+                f"release time {release_time:g} precedes arrival {arrival_time:g}"
+            )
+        if self.is_full:
+            raise ValueError(
+                f"cannot restore into a full buffer (capacity {self.capacity})"
+            )
+        entry = self._store(payload, arrival_time, release_time)
+        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        return entry
 
     # ------------------------------------------------------------------
     @abc.abstractmethod

@@ -1,0 +1,232 @@
+"""Clock-agnostic temporal-privacy state machine.
+
+The buffer/delay/RCAD logic originally lived inside the DES-clocked
+:class:`~repro.sim.simulator.SensorNetworkSimulator`, which made it
+unusable from anything that is not an event-driven simulation.  This
+module extracts that policy kernel into :class:`TemporalPrivacyCore`, a
+pure state machine with no notion of *how* time advances: callers pass
+``now`` explicitly.  Two drivers exist:
+
+* the simulator keeps its event-driven shape -- it calls
+  :meth:`TemporalPrivacyCore.offer` at packet arrival events and
+  :meth:`TemporalPrivacyCore.release` from its scheduled release
+  callbacks, so simulation results are bit-identical to the
+  pre-extraction code (same buffer objects underneath, same RNG
+  consumption order);
+* the streaming service (:mod:`repro.service`) polls
+  :meth:`TemporalPrivacyCore.poll_due` from an asyncio pump against the
+  wall clock, and uses :meth:`TemporalPrivacyCore.restore` to reload
+  buffered entries from a crash snapshot.
+
+The core owns one :class:`~repro.core.buffers.PacketBuffer` (any
+discipline) and optionally one
+:class:`~repro.core.delays.DelayDistribution`.  It samples the
+artificial delay, runs the buffer's admission decision, and reports
+what happened as a :class:`CoreDecision`; scheduling (DES event or
+asyncio timer) stays with the driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.core.buffers import (
+    AdmissionOutcome,
+    BufferedEntry,
+    PacketBuffer,
+)
+from repro.core.delays import DelayDistribution
+
+__all__ = ["CoreAction", "CoreDecision", "TemporalPrivacyCore"]
+
+
+class CoreAction(Enum):
+    """What the core decided for an offered event."""
+
+    #: no delay distribution configured: pass straight through.
+    FORWARD = "forward"
+    #: buffered; will surface from ``poll_due`` at its release time.
+    ADMIT = "admit"
+    #: buffered, but a victim was evicted and must be emitted *now*.
+    PREEMPT = "preempt"
+    #: refused (drop-tail full buffer, or service admission control).
+    SHED = "shed"
+
+
+_ACTION_FOR_OUTCOME = {
+    AdmissionOutcome.ADMITTED: CoreAction.ADMIT,
+    AdmissionOutcome.PREEMPTED_VICTIM: CoreAction.PREEMPT,
+    AdmissionOutcome.DROPPED: CoreAction.SHED,
+}
+
+
+@dataclass(frozen=True)
+class CoreDecision:
+    """Outcome of :meth:`TemporalPrivacyCore.offer`.
+
+    Attributes
+    ----------
+    action:
+        What happened to the arriving event.
+    delay:
+        The sampled artificial delay (0.0 for ``FORWARD``; still the
+        sampled value for ``SHED`` -- the draw happens before admission
+        so RNG consumption does not depend on buffer state).
+    entry:
+        The buffered entry for the arriving event (``ADMIT`` /
+        ``PREEMPT``), or None.
+    victim:
+        The evicted entry that must be emitted immediately
+        (``PREEMPT`` only), or None.
+    """
+
+    action: CoreAction
+    delay: float
+    entry: BufferedEntry | None
+    victim: BufferedEntry | None
+
+
+class TemporalPrivacyCore:
+    """One node's (or shard's) temporal-privacy policy kernel.
+
+    Parameters
+    ----------
+    buffer:
+        The buffer discipline holding delayed events.
+    delay:
+        Distribution of the artificial delay Y; ``None`` means no
+        delaying at all (every offer returns ``FORWARD``).
+    delay_rng:
+        Stream consumed by delay sampling.  Required when ``delay``
+        is given.
+    victim_rng:
+        Stream handed to the buffer's victim policy (only stochastic
+        policies consume it).  Defaults to ``delay_rng``.
+
+    Examples
+    --------
+    >>> from repro.core.buffers import RcadBuffer
+    >>> from repro.core.delays import ConstantDelay
+    >>> import numpy as np
+    >>> core = TemporalPrivacyCore(
+    ...     RcadBuffer(capacity=2), ConstantDelay(5.0),
+    ...     delay_rng=np.random.default_rng(0))
+    >>> core.offer("a", now=0.0).action
+    <CoreAction.ADMIT: 'admit'>
+    >>> [e.payload for e in core.poll_due(5.0)]
+    ['a']
+    """
+
+    def __init__(
+        self,
+        buffer: PacketBuffer,
+        delay: DelayDistribution | None = None,
+        delay_rng: np.random.Generator | None = None,
+        victim_rng: np.random.Generator | None = None,
+    ) -> None:
+        if delay is not None and delay_rng is None:
+            raise ValueError("a delay distribution needs a delay_rng stream")
+        self.buffer = buffer
+        self.delay = delay
+        self._delay_rng = delay_rng
+        self._victim_rng = victim_rng if victim_rng is not None else delay_rng
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return self.buffer.occupancy
+
+    @property
+    def capacity(self) -> int | None:
+        return self.buffer.capacity
+
+    @property
+    def is_full(self) -> bool:
+        return self.buffer.is_full
+
+    @property
+    def is_empty(self) -> bool:
+        return self.buffer.occupancy == 0
+
+    def entries(self) -> list[BufferedEntry]:
+        """Buffered entries in insertion order."""
+        return self.buffer.entries()
+
+    def next_release_time(self) -> float | None:
+        """Earliest scheduled release, or None when empty."""
+        return self.buffer.shortest_remaining_release_time()
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def offer(self, payload: Any, now: float, delay: float | None = None) -> CoreDecision:
+        """Offer one arriving event to the privacy mechanism at ``now``.
+
+        ``delay`` overrides the sampled delay (the DES driver does not
+        use this; tests and replay tooling do).
+        """
+        if delay is None:
+            if self.delay is None:
+                return CoreDecision(CoreAction.FORWARD, 0.0, entry=None, victim=None)
+            delay = self.delay.sample(self._delay_rng)
+        result = self.buffer.offer(
+            payload,
+            arrival_time=now,
+            release_time=now + delay,
+            rng=self._victim_rng,
+        )
+        return CoreDecision(
+            action=_ACTION_FOR_OUTCOME[result.outcome],
+            delay=delay,
+            entry=result.entry,
+            victim=result.victim,
+        )
+
+    def release(self, entry_id: int) -> BufferedEntry:
+        """Remove and return one entry (DES drivers call this from the
+        release event they scheduled at ``entry.release_time``)."""
+        return self.buffer.release(entry_id)
+
+    def poll_due(self, now: float) -> list[BufferedEntry]:
+        """Remove and return every entry due at or before ``now``.
+
+        Entries come back ordered by ``(release_time, entry_id)``, so a
+        polling driver emits releases in exactly the order a
+        fine-grained event-driven driver would have.
+        """
+        if not self.buffer.occupancy:
+            return []
+        due = [e for e in self.buffer.entries() if e.release_time <= now]
+        due.sort(key=lambda e: (e.release_time, e.entry_id))
+        return [self.buffer.release(e.entry_id) for e in due]
+
+    def restore(
+        self, items: Iterable[tuple[Any, float, float]]
+    ) -> list[BufferedEntry]:
+        """Reload snapshot entries ``(payload, arrival_time, release_time)``.
+
+        Bypasses admission (the entries were already admitted before the
+        snapshot was taken): no preemption can occur and admission
+        counters stay untouched.  Items are stored in iteration order,
+        which assigns ascending ``entry_id``\\ s -- callers must iterate
+        in the original admission order so preemption tie-breaking
+        replays identically after a restore.
+        """
+        restored = []
+        for payload, arrival_time, release_time in items:
+            restored.append(
+                self.buffer.restore_entry(payload, arrival_time, release_time)
+            )
+        return restored
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TemporalPrivacyCore({type(self.buffer).__name__}, "
+            f"occupancy={self.occupancy}, delay={self.delay!r})"
+        )

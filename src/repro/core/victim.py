@@ -11,6 +11,17 @@ design choice.
 A policy receives the buffered entries and the current time and returns
 the entry to preempt.  Entries expose ``release_time`` (when the packet
 would have been sent) and ``arrival_time`` (when it was buffered).
+
+**Determinism contract.**  Every non-random policy breaks ties on its
+primary criterion by ``entry_id``: :class:`ShortestRemainingDelay`,
+:class:`LongestRemainingDelay` and :class:`OldestArrival` pick the
+*lowest* id (earliest admission) among the tied entries, while
+:class:`NewestArrival` picks the highest (latest admission, matching
+its LIFO semantics).  Entry ids ascend in admission order, so the
+choice is independent of dict iteration order, and -- because snapshot
+restore re-numbers entries in their original admission order --
+preemption decisions replay identically after a service crash/restore
+cycle.  The streaming service's zero-loss guarantee relies on this.
 """
 
 from __future__ import annotations
@@ -60,6 +71,10 @@ class ShortestRemainingDelay(VictimPolicy):
     Truncating the delay that is already nearly over perturbs the
     realized delay distribution the least, keeping the adversary's
     model of the delays maximally wrong-footed per unit of disruption.
+
+    When several entries share the shortest remaining release time the
+    one with the lowest ``entry_id`` (earliest admission) is chosen;
+    see the module determinism contract.
     """
 
     name = "shortest-remaining"

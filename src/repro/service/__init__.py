@@ -1,0 +1,38 @@
+"""Streaming temporal-privacy service.
+
+Wraps the clock-agnostic :class:`~repro.core.privacy_core.TemporalPrivacyCore`
+(the same state machine the DES simulator drives) in a long-running
+asyncio service: sharded per-flow buffers, a tiered degradation ladder
+(delay -> preempt -> shed), Prometheus metrics with health/readiness
+probes, a stalled-shard watchdog, and crash-safe snapshot/restore so a
+SIGTERM mid-stream loses no admitted event.  See DESIGN.md section 10.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.http import MetricsServer, render_prometheus
+from repro.service.ladder import DegradationLadder, Tier
+from repro.service.loadgen import LoadReport, ServiceLoadGenerator
+from repro.service.server import (
+    ReleaseRecord,
+    StreamEvent,
+    SubmitOutcome,
+    TemporalPrivacyService,
+)
+from repro.service.snapshot import SnapshotEntry, load_snapshot, write_snapshot
+
+__all__ = [
+    "ServiceConfig",
+    "Tier",
+    "DegradationLadder",
+    "StreamEvent",
+    "SubmitOutcome",
+    "ReleaseRecord",
+    "TemporalPrivacyService",
+    "MetricsServer",
+    "render_prometheus",
+    "ServiceLoadGenerator",
+    "LoadReport",
+    "SnapshotEntry",
+    "write_snapshot",
+    "load_snapshot",
+]

@@ -1,0 +1,144 @@
+"""Observability endpoints: Prometheus text exposition plus probes.
+
+The container image has no HTTP framework, so this is a deliberately
+tiny HTTP/1.0-style server on raw asyncio streams.  It serves exactly
+three read-only paths:
+
+* ``/metrics``  -- Prometheus text exposition (version 0.0.4) of the
+  service's :class:`~repro.telemetry.MetricsRegistry`;
+* ``/healthz``  -- liveness: 200 while the event loop and shard pumps
+  are up (draining is still healthy), 503 after stop;
+* ``/readyz``   -- readiness: 200 only while the service accepts new
+  events; flips to 503 the moment a drain or shutdown begins, so a
+  load balancer stops routing before intake actually closes.
+
+Metric names are sanitized for Prometheus (``service/tier`` ->
+``repro_service_tier``); histograms expose cumulative ``_bucket``
+series with ``le`` labels plus ``_sum`` and ``_count``, exactly the
+shape ``prometheus_client`` would emit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+
+from repro.telemetry import MetricsRegistry
+
+__all__ = ["render_prometheus", "MetricsServer"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if value != int(value) else str(int(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry snapshot as Prometheus text exposition."""
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    for name, value in snapshot["counters"].items():
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value}")
+    for name, value in snapshot["gauges"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_fmt(value)}")
+    for name, data in snapshot["histograms"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for edge, count in zip(data["edges"], data["counts"]):
+            cumulative += count
+            lines.append(f'{prom}_bucket{{le="{_fmt(edge)}"}} {cumulative}')
+        cumulative += data["counts"][-1]
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{prom}_sum {_fmt(data['sum'])}")
+        lines.append(f"{prom}_count {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+class MetricsServer:
+    """Serves /metrics, /healthz, and /readyz for one service instance."""
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._server: asyncio.Server | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when constructed with port=0)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self._host, port=self._port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def _respond(self, path: str) -> tuple[int, str, str]:
+        service = self._service
+        if path == "/metrics":
+            return 200, "text/plain; version=0.0.4", render_prometheus(service.registry)
+        if path == "/healthz":
+            if service.healthy:
+                return 200, "text/plain", "ok\n"
+            return 503, "text/plain", "stopped\n"
+        if path == "/readyz":
+            if service.ready:
+                return 200, "text/plain", "ready\n"
+            return 503, "text/plain", "draining\n"
+        return 404, "text/plain", "not found\n"
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            # Drain headers so well-behaved clients are not reset.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            status, content_type, body = self._respond(path)
+            reason = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}[status]
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status} {reason}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + payload
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass

@@ -1,0 +1,80 @@
+"""The tiered degradation ladder.
+
+Under overload the service does not fail abruptly; it walks down a
+ladder of explicitly accounted degradation tiers:
+
+1. **NORMAL** -- free slot available: the arrival gets its full sampled
+   exponential delay (the paper's baseline mechanism).
+2. **PREEMPT** -- the target shard is full: RCAD preemption acts as
+   backpressure.  The arrival is still admitted, but a victim (shortest
+   remaining delay, deterministic tie-break) is released early.  The
+   effective delay rate adapts exactly as Section 5 of the paper
+   prescribes for resource-limited buffers.
+3. **SHED** -- the global memory bound is hit: the arrival is refused
+   outright, with explicit shed accounting.  Admission control is the
+   last rung because a shed event loses data, whereas preemption only
+   loses delay (and therefore privacy margin).
+
+Every decision notes its tier; transitions between tiers are counted,
+timestamped, and published through the metrics registry, so overload
+behaviour is observable rather than inferred -- shedding and preemption
+are themselves a timing side channel, and operators need to see when
+the service enters the regimes that leak.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Callable
+
+from repro.telemetry import MetricsRegistry
+
+__all__ = ["Tier", "DegradationLadder"]
+
+
+class Tier(IntEnum):
+    """Degradation tiers, ordered from healthy to load-shedding."""
+
+    NORMAL = 1
+    PREEMPT = 2
+    SHED = 3
+
+
+class DegradationLadder:
+    """Tracks the current tier and publishes transitions.
+
+    The tier is a pure function of buffer state at each admission
+    (global bound hit -> SHED, shard full -> PREEMPT, else NORMAL);
+    the ladder records when consecutive decisions land on different
+    rungs.
+    """
+
+    def __init__(self, registry: MetricsRegistry, clock: Callable[[], float]) -> None:
+        self._registry = registry
+        self._clock = clock
+        self.tier = Tier.NORMAL
+        #: (time, from_tier, to_tier) history of transitions.
+        self.transitions: list[tuple[float, Tier, Tier]] = []
+        registry.gauge("service/tier").set(int(self.tier))
+
+    @staticmethod
+    def classify(shard_full: bool, global_full: bool) -> Tier:
+        """Tier implied by buffer state *before* the admission."""
+        if global_full:
+            return Tier.SHED
+        if shard_full:
+            return Tier.PREEMPT
+        return Tier.NORMAL
+
+    def note(self, tier: Tier) -> None:
+        """Record one admission decision's tier; publish a transition
+        if the rung changed."""
+        self._registry.counter(f"service/tier-{tier.name.lower()}-events").inc()
+        if tier is not self.tier:
+            self.transitions.append((self._clock(), self.tier, tier))
+            self._registry.counter("service/tier-transitions").inc()
+            self._registry.counter(
+                f"service/tier-enter-{tier.name.lower()}"
+            ).inc()
+            self._registry.gauge("service/tier").set(int(tier))
+            self.tier = tier

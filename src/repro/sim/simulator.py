@@ -37,13 +37,13 @@ import itertools
 from dataclasses import dataclass
 
 from repro.core.buffers import (
-    AdmissionOutcome,
     DropTailBuffer,
     InfiniteBuffer,
     PacketBuffer,
     RcadBuffer,
 )
 from repro.core.metrics import PacketRecord
+from repro.core.privacy_core import CoreAction, TemporalPrivacyCore
 from repro.crypto.keys import KeyManager
 from repro.crypto.payload import PayloadCodec, SensorReading
 from repro.des import BackoffTimer, RngRegistry, Simulator
@@ -88,11 +88,20 @@ class _CopySet:
 
 @dataclass
 class _NodeState:
-    """Runtime state of one buffering node."""
+    """Runtime state of one buffering node.
 
-    buffer: PacketBuffer
+    The buffering/delay/preemption *policy* lives in the node's
+    :class:`~repro.core.privacy_core.TemporalPrivacyCore`; this wrapper
+    adds the simulator-side bookkeeping (stats, occupancy integral).
+    """
+
+    core: TemporalPrivacyCore
     stats: NodeStats
     last_occupancy_change: float = 0.0
+
+    @property
+    def buffer(self) -> PacketBuffer:
+        return self.core.buffer
 
     def track_occupancy(self, now: float, occupancy_before: int) -> None:
         elapsed = now - self.last_occupancy_change
@@ -200,8 +209,18 @@ class SensorNetworkSimulator:
     def _node_state(self, node: int) -> _NodeState:
         state = self._nodes.get(node)
         if state is None:
+            delay_plan = self.config.delay_plan
             state = _NodeState(
-                buffer=self._make_buffer(),
+                core=TemporalPrivacyCore(
+                    buffer=self._make_buffer(),
+                    delay=(
+                        delay_plan.distribution_for(node)
+                        if delay_plan is not None
+                        else None
+                    ),
+                    delay_rng=self._rng.stream(f"delay/node-{node}"),
+                    victim_rng=self._rng.stream(f"victim/node-{node}"),
+                ),
                 stats=NodeStats(node_id=node),
                 last_occupancy_change=self._sim.now,
             )
@@ -311,23 +330,15 @@ class SensorNetworkSimulator:
             # Case 1, no privacy delays: forward as soon as received.
             self._transmit(node, transit)
             return
-        delay = self.config.delay_plan.distribution_for(node).sample(
-            self._rng.stream(f"delay/node-{node}")
-        )
-        self._buffer_packet(node, transit, delay)
+        self._buffer_packet(node, transit)
 
-    def _buffer_packet(self, node: int, transit: _TransitPacket, delay: float) -> None:
+    def _buffer_packet(self, node: int, transit: _TransitPacket) -> None:
         state = self._node_state(node)
         now = self._sim.now
         occupancy_before = state.buffer.occupancy
-        result = state.buffer.offer(
-            payload=transit,
-            arrival_time=now,
-            release_time=now + delay,
-            rng=self._rng.stream(f"victim/node-{node}"),
-        )
+        result = state.core.offer(transit, now)
         state.track_occupancy(now, occupancy_before)
-        if result.outcome is AdmissionOutcome.DROPPED:
+        if result.action is CoreAction.SHED:
             state.stats.dropped += 1
             self._counters.buffer_dropped += 1
             self._trace(transit, "dropped", node)
@@ -371,7 +382,7 @@ class SensorNetworkSimulator:
             return
         state = self._node_state(node)
         occupancy_before = state.buffer.occupancy
-        entry = state.buffer.release(entry_id)
+        entry = state.core.release(entry_id)
         state.track_occupancy(self._sim.now, occupancy_before)
         self._transmit(node, entry.payload)
 

@@ -14,6 +14,9 @@ extension experiments:
   periodic with bounded uniform jitter,
 * :class:`~repro.traffic.generators.OnOffTraffic` -- bursty
   exponential on/off phases (event-driven sensing),
+* :class:`~repro.traffic.generators.MarkovOnOffTraffic` -- two-state
+  Markov-modulated on/off bursts with a streaming ``iter_gaps`` API
+  (the service load generator's overload workload),
 * :class:`~repro.traffic.generators.MMPPTraffic` -- Markov-modulated
   Poisson process, the classic bursty-aggregate model,
 * :class:`~repro.traffic.generators.TraceTraffic` -- replay of an
@@ -22,6 +25,7 @@ extension experiments:
 
 from repro.traffic.generators import (
     JitteredPeriodicTraffic,
+    MarkovOnOffTraffic,
     MMPPTraffic,
     OnOffTraffic,
     PeriodicTraffic,
@@ -36,6 +40,7 @@ __all__ = [
     "PoissonTraffic",
     "JitteredPeriodicTraffic",
     "OnOffTraffic",
+    "MarkovOnOffTraffic",
     "MMPPTraffic",
     "TraceTraffic",
 ]

@@ -9,7 +9,7 @@ injected at the source node.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -19,6 +19,7 @@ __all__ = [
     "PoissonTraffic",
     "JitteredPeriodicTraffic",
     "OnOffTraffic",
+    "MarkovOnOffTraffic",
     "MMPPTraffic",
     "TraceTraffic",
 ]
@@ -162,6 +163,97 @@ class OnOffTraffic(TrafficModel):
     def mean_rate(self) -> float:
         duty_cycle = self.mean_on / (self.mean_on + self.mean_off)
         return self.burst_rate * duty_cycle
+
+
+class MarkovOnOffTraffic(TrafficModel):
+    """Two-state Markov-modulated on/off traffic with a streaming API.
+
+    A continuous-time two-state Markov chain modulates the Poisson
+    creation rate: ``burst_rate`` while ON, ``base_rate`` (default 0,
+    i.e. silence) while OFF, with exponential sojourn times
+    ``mean_on`` / ``mean_off``.  With ``base_rate=0`` this is the
+    classic interrupted Poisson process -- the standard model for
+    overload bursts riding on a quiet baseline.
+
+    Unlike the batch-only models above, this generator also exposes
+    :meth:`iter_gaps`, an *unbounded* stream of inter-arrival gaps.
+    That is the form a live load generator needs: the streaming
+    service's closed-loop driver pulls gaps one at a time for as long
+    as the run lasts, with no packet budget fixed up front.
+    ``creation_times`` is implemented on top of the same stream, so a
+    batch prefix and a streamed prefix from equal seeds are identical.
+
+    Parameters
+    ----------
+    burst_rate:
+        Poisson creation rate while the chain is ON.
+    mean_on, mean_off:
+        Mean sojourn times of the ON and OFF states.
+    base_rate:
+        Poisson creation rate while OFF; must be smaller than
+        ``burst_rate`` (0 = silent OFF periods).
+    """
+
+    def __init__(
+        self,
+        burst_rate: float,
+        mean_on: float,
+        mean_off: float,
+        base_rate: float = 0.0,
+    ) -> None:
+        if burst_rate <= 0:
+            raise ValueError(f"burst rate must be positive, got {burst_rate}")
+        if mean_on <= 0 or mean_off <= 0:
+            raise ValueError("mean_on and mean_off must be positive")
+        if not 0 <= base_rate < burst_rate:
+            raise ValueError(
+                f"base rate must be in [0, burst_rate), got {base_rate}"
+            )
+        self.burst_rate = float(burst_rate)
+        self.mean_on = float(mean_on)
+        self.mean_off = float(mean_off)
+        self.base_rate = float(base_rate)
+
+    def iter_gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        """Yield inter-arrival gaps forever (never raises StopIteration).
+
+        Implementation: thinning-free phase walk.  Within a phase the
+        gap is exponential at the phase rate; when the next arrival
+        would land past the phase boundary the walk crosses into the
+        next phase and re-draws from the boundary (memorylessness makes
+        the re-draw exact, not an approximation).
+        """
+        on = bool(rng.integers(2))
+        t = 0.0
+        last_arrival = 0.0
+        phase_end = t + rng.exponential(self.mean_on if on else self.mean_off)
+        while True:
+            rate = self.burst_rate if on else self.base_rate
+            if rate > 0:
+                candidate = t + rng.exponential(1.0 / rate)
+                if candidate < phase_end:
+                    t = candidate
+                    yield t - last_arrival
+                    last_arrival = t
+                    continue
+            # no arrival before the phase flips: cross the boundary.
+            t = phase_end
+            on = not on
+            phase_end = t + rng.exponential(self.mean_on if on else self.mean_off)
+
+    def creation_times(self, n_packets: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_count(n_packets)
+        gaps = self.iter_gaps(rng)
+        times = np.empty(n_packets, dtype=float)
+        t = 0.0
+        for i in range(n_packets):
+            t += next(gaps)
+            times[i] = t
+        return times
+
+    def mean_rate(self) -> float:
+        duty = self.mean_on / (self.mean_on + self.mean_off)
+        return self.burst_rate * duty + self.base_rate * (1.0 - duty)
 
 
 class MMPPTraffic(TrafficModel):

@@ -112,7 +112,9 @@ class TestCommands:
 
 class TestJobsOption:
     def test_negative_jobs_rejected_with_existing_message(self, capsys):
-        with pytest.raises(SystemExit, match="--jobs must be at least 1, got -2"):
+        with pytest.raises(
+            SystemExit, match=r"--jobs must be non-negative \(0 = one per CPU\), got -2"
+        ):
             main(["fig2", "--jobs", "-2"])
 
     def test_jobs_zero_means_auto(self, monkeypatch, tmp_path, capsys):
@@ -137,6 +139,30 @@ class TestJobsOption:
     def test_negative_retries_rejected(self):
         with pytest.raises(SystemExit, match="--retries must be non-negative"):
             main(["fig2", "--retries", "-1"])
+
+    def test_negative_item_timeout_rejected(self):
+        with pytest.raises(
+            SystemExit, match="--item-timeout must be a positive number of seconds"
+        ):
+            main(["fig2", "--item-timeout", "-5"])
+
+    def test_zero_item_timeout_rejected(self):
+        with pytest.raises(
+            SystemExit, match="--item-timeout must be a positive number of seconds"
+        ):
+            main(["run", "--item-timeout", "0"])
+
+    def test_validation_fires_before_any_simulation(self, monkeypatch):
+        # The SystemExit must come from option validation, not from a
+        # traceback deep inside the executor: no simulation may start.
+        import repro.experiments.fig2 as fig2_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("simulation ran despite invalid options")
+
+        monkeypatch.setattr(fig2_module, "figure2", boom)
+        with pytest.raises(SystemExit, match="--retries must be non-negative"):
+            main(["fig2", "--retries", "-3"])
 
     def test_resume_requires_cache(self):
         with pytest.raises(SystemExit, match="--resume needs the result cache"):
@@ -260,3 +286,50 @@ class TestChaosCommand:
             main(["chaos", "--intensities", "0,2"])
         with pytest.raises(SystemExit):
             main(["chaos", "--intensities", "nope"])
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.shards == 4
+        assert args.capacity == 64
+        assert args.max_buffered == 256
+        assert args.port == 0
+        assert args.burst_factor == 1.0
+        assert args.snapshot is None
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "--rate", "0"],
+            ["serve", "--rate", "-5"],
+            ["serve", "--flows", "0"],
+            ["serve", "--events", "-1"],
+            ["serve", "--duration", "0"],
+            ["serve", "--burst-factor", "0.5"],
+            ["serve", "--port", "-2"],
+            ["serve", "--drain-timeout", "0"],
+            ["serve", "--shards", "0"],
+            ["serve", "--mean-delay", "0"],
+        ],
+        ids=lambda argv: " ".join(argv[1:]),
+    )
+    def test_invalid_options_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            main(argv)
+
+    def test_tiny_run_end_to_end(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "report.json"
+        assert main([
+            "serve", "--events", "40", "--rate", "4000",
+            "--mean-delay", "0.005", "--port", "-1",
+            "--report", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "service up" in out
+        assert "submitted       : 40" in out
+        payload = json.loads(report.read_text())
+        assert payload["submitted"] == 40
+        assert len(payload["releases"]) == payload["outcomes"]["admitted"]

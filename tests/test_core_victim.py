@@ -110,3 +110,63 @@ class TestRemainingDelayHelper:
         entry = _entry(0, arrival=1.0, release=20.0)
         assert entry.remaining_delay(now=5.0) == 15.0
         assert entry.remaining_delay(now=25.0) == 0.0
+
+
+class TestTieBreaking:
+    """Determinism contract: ties resolve to the lowest entry_id.
+
+    The streaming service's snapshot/restore path replays preemption
+    decisions, so a tie must never depend on dict order or entry
+    identity -- only on the admission-ordered entry_id.
+    """
+
+    TIED = [
+        _entry(7, arrival=0.0, release=10.0),
+        _entry(3, arrival=1.0, release=10.0),
+        _entry(5, arrival=2.0, release=10.0),
+    ]
+
+    def test_shortest_remaining_tie_picks_lowest_id(self):
+        assert ShortestRemainingDelay().select(self.TIED, 4.0, RNG).entry_id == 3
+
+    def test_longest_remaining_tie_picks_lowest_id(self):
+        assert LongestRemainingDelay().select(self.TIED, 4.0, RNG).entry_id == 3
+
+    def test_arrival_policy_ties_resolve_by_admission_order(self):
+        tied_arrivals = [
+            _entry(9, arrival=5.0, release=10.0),
+            _entry(2, arrival=5.0, release=30.0),
+            _entry(6, arrival=5.0, release=20.0),
+        ]
+        # Oldest-arrival ties go to the earliest admission (lowest id);
+        # newest-arrival ties to the latest (highest id, LIFO).
+        assert OldestArrival().select(tied_arrivals, 6.0, RNG).entry_id == 2
+        assert NewestArrival().select(tied_arrivals, 6.0, RNG).entry_id == 9
+
+    def test_tie_break_independent_of_list_order(self):
+        import itertools
+
+        for perm in itertools.permutations(self.TIED):
+            assert ShortestRemainingDelay().select(list(perm), 4.0, RNG).entry_id == 3
+
+    def test_rcad_buffer_preemption_tie_is_replay_stable(self):
+        """Equal release times in a full RcadBuffer always evict the
+        earliest-admitted entry, before and after a restore cycle."""
+        from repro.core.buffers import RcadBuffer
+
+        def build(restored: bool) -> RcadBuffer:
+            buf = RcadBuffer(capacity=3)
+            items = [("a", 0.0, 50.0), ("b", 1.0, 50.0), ("c", 2.0, 50.0)]
+            if restored:
+                for payload, arrival, release in items:
+                    buf.restore_entry(payload, arrival, release)
+            else:
+                for payload, arrival, release in items:
+                    buf.offer(payload, arrival_time=arrival, release_time=release)
+            return buf
+
+        for restored in (False, True):
+            buf = build(restored)
+            result = buf.offer("d", arrival_time=3.0, release_time=60.0)
+            assert result.victim is not None
+            assert result.victim.payload == "a"

@@ -192,3 +192,73 @@ class TestTrace:
             TraceTraffic([])
         with pytest.raises(ValueError):
             TraceTraffic([-1.0, 2.0])
+
+
+class TestMarkovOnOff:
+    def _model(self, **kwargs):
+        from repro.traffic import MarkovOnOffTraffic
+
+        defaults = dict(burst_rate=10.0, mean_on=5.0, mean_off=15.0)
+        defaults.update(kwargs)
+        return MarkovOnOffTraffic(**defaults)
+
+    def test_mean_rate_duty_cycle(self):
+        model = self._model()
+        assert model.mean_rate() == pytest.approx(10.0 * 5.0 / 20.0)
+
+    def test_mean_rate_with_baseline(self):
+        model = self._model(base_rate=1.0)
+        duty = 5.0 / 20.0
+        assert model.mean_rate() == pytest.approx(10.0 * duty + 1.0 * (1 - duty))
+
+    def test_long_run_rate_matches(self):
+        model = self._model()
+        times = model.creation_times(6000, _rng(3))
+        realized = (len(times) - 1) / (times[-1] - times[0])
+        assert realized == pytest.approx(model.mean_rate(), rel=0.15)
+
+    def test_burstier_than_poisson(self):
+        # Squared coefficient of variation of the gaps must exceed the
+        # Poisson value of 1: that is what "bursty" means.
+        model = self._model()
+        gaps = np.diff(model.creation_times(6000, _rng(4)))
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.5
+
+    def test_sorted_strictly_increasing(self):
+        times = self._model().creation_times(500, _rng(5))
+        assert np.all(np.diff(times) > 0)
+
+    def test_stream_matches_batch(self):
+        # iter_gaps and creation_times consume the RNG identically, so
+        # a streamed prefix equals the batch output for equal seeds.
+        import itertools
+
+        model = self._model(base_rate=0.5)
+        batch = model.creation_times(200, _rng(6))
+        streamed = np.cumsum(list(itertools.islice(model.iter_gaps(_rng(6)), 200)))
+        np.testing.assert_allclose(streamed, batch)
+
+    def test_stream_is_unbounded(self):
+        gaps = self._model().iter_gaps(_rng(7))
+        drawn = [next(gaps) for _ in range(1000)]
+        assert min(drawn) > 0
+
+    def test_zero_packets(self):
+        assert self._model().creation_times(0, _rng()).size == 0
+
+    def test_validation(self):
+        from repro.traffic import MarkovOnOffTraffic
+
+        with pytest.raises(ValueError):
+            MarkovOnOffTraffic(burst_rate=0.0, mean_on=1.0, mean_off=1.0)
+        with pytest.raises(ValueError):
+            MarkovOnOffTraffic(burst_rate=1.0, mean_on=0.0, mean_off=1.0)
+        with pytest.raises(ValueError):
+            MarkovOnOffTraffic(burst_rate=1.0, mean_on=1.0, mean_off=0.0)
+        with pytest.raises(ValueError):
+            MarkovOnOffTraffic(burst_rate=1.0, mean_on=1.0, mean_off=1.0, base_rate=1.0)
+        with pytest.raises(ValueError):
+            MarkovOnOffTraffic(
+                burst_rate=1.0, mean_on=1.0, mean_off=1.0, base_rate=-0.1
+            )
