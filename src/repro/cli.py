@@ -15,7 +15,17 @@ code.  Commands:
 * ``metrics`` -- summarize a telemetry run manifest (``--series`` /
   ``--chart`` inspect the recorded time series);
 * ``cache`` -- inspect and heal the on-disk result cache
-  (``stats`` / ``verify`` / ``purge`` / ``prune --max-bytes N``);
+  (``stats`` / ``verify`` / ``purge`` / ``prune --max-bytes N
+  --compact-journals``);
+* ``sweep-fabric`` -- run the Figure 2 grid through the distributed
+  sweep fabric: a coordinator shards the cells into leased work units,
+  forks ``--workers`` local worker processes (external ``repro
+  worker`` processes may join), steals work from crashed workers, and
+  merges results bit-identical to a serial ``repro fig2`` run;
+* ``worker`` -- join a running (or upcoming) ``sweep-fabric``
+  coordinator from another shell or host, pointed at its fabric
+  directory; sharing a ``--cache-dir`` across workers deduplicates
+  simulations between them;
 * ``serve`` -- run the streaming temporal-privacy service against a
   closed-loop load generator: sharded delay buffers, the tiered
   degradation ladder, Prometheus ``/metrics`` plus ``/healthz`` and
@@ -60,7 +70,7 @@ __all__ = ["main", "build_parser"]
 
 
 #: commands that run simulations and therefore take runtime options.
-_SIMULATION_COMMANDS = ("fig2", "fig3", "run", "chaos")
+_SIMULATION_COMMANDS = ("fig2", "fig3", "run", "chaos", "sweep-fabric")
 
 
 def _add_runtime_options(sub: argparse.ArgumentParser) -> None:
@@ -305,6 +315,81 @@ def build_parser() -> argparse.ArgumentParser:
         "print the BENCH_service.json payload",
     )
 
+    fabric = commands.add_parser(
+        "sweep-fabric",
+        help="run the Figure 2 grid through the distributed sweep "
+        "fabric (lease-based coordinator + worker processes)",
+    )
+    fabric.add_argument(
+        "--packets", type=int, default=1000,
+        help="packets per source (paper: 1000)",
+    )
+    fabric.add_argument("--seed", type=int, default=0, help="root random seed")
+    fabric.add_argument(
+        "--interarrivals", type=str, default="2,4,6,8,10,12,14,16,18,20",
+        help="comma-separated 1/lambda sweep values",
+    )
+    fabric.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="local worker processes the coordinator forks (default 2; "
+        "0 = rely on externally joined 'repro worker' processes, with "
+        "in-process serial completion as the fallback)",
+    )
+    fabric.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="heartbeat silence after which a worker's leases expire "
+        "and its cells are stolen (default 30)",
+    )
+    fabric.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="SECONDS",
+        help="worker heartbeat renewal period (default lease-ttl / 3; "
+        "must be below --lease-ttl)",
+    )
+    fabric.add_argument(
+        "--fabric-dir", type=str, default=None, metavar="PATH",
+        help="shared fabric state directory (default: "
+        "<cache-dir>/fabric/<sweep-id>); external workers point "
+        "'repro worker' here",
+    )
+    fabric.add_argument(
+        "--chart", action="store_true",
+        help="also draw ASCII bar charts of the series",
+    )
+    fabric.add_argument(
+        "--csv", type=str, default=None, metavar="PATH",
+        help="also write the series as CSV to PATH "
+             "(writes PATH and PATH.latency.csv)",
+    )
+    fabric.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="also write the series as JSON to PATH "
+             "(writes PATH and PATH.latency.json)",
+    )
+    _add_runtime_options(fabric)
+
+    worker = commands.add_parser(
+        "worker",
+        help="join a sweep-fabric run as an external worker process",
+    )
+    worker.add_argument(
+        "fabric_dir",
+        help="the coordinator's fabric directory (printed by, and "
+        "settable with, 'repro sweep-fabric --fabric-dir')",
+    )
+    worker.add_argument(
+        "--worker-id", type=str, default=None, metavar="ID",
+        help="unique worker id (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="SECONDS",
+        help="heartbeat renewal period (default: the grid's setting)",
+    )
+    worker.add_argument(
+        "--cache-dir", type=str, default=None, metavar="PATH",
+        help="result cache to read/write (default: the grid's setting; "
+        "sharing one directory across workers deduplicates work)",
+    )
+
     cache = commands.add_parser(
         "cache", help="inspect and heal the on-disk result cache"
     )
@@ -330,11 +415,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="leave quarantined files in place for inspection",
     )
     prune = cache_commands.add_parser(
-        "prune", help="evict oldest entries until the store fits a byte budget"
+        "prune",
+        help="evict oldest entries until the store fits a byte budget "
+        "and/or compact the checkpoint journals",
     )
     prune.add_argument(
-        "--max-bytes", type=int, required=True, metavar="N",
+        "--max-bytes", type=int, default=None, metavar="N",
         help="target size of the entry store in bytes",
+    )
+    prune.add_argument(
+        "--compact-journals", action="store_true",
+        help="rewrite every sweep/fabric journal keeping only the last "
+        "record per cell (drops superseded duplicates, lease/steal "
+        "event lines and corrupt lines); do not run against a live "
+        "sweep",
     )
     return parser
 
@@ -357,6 +451,32 @@ def _validate_runtime_options(args: argparse.Namespace) -> None:
             f"--item-timeout must be a positive number of seconds, "
             f"got {args.item_timeout:g}"
         )
+
+
+def _validate_fabric_options(args: argparse.Namespace) -> None:
+    """Reject nonsensical fabric options before any process is forked."""
+    if args.workers < 0:
+        raise SystemExit(
+            f"--workers must be non-negative (0 = external workers only), "
+            f"got {args.workers}"
+        )
+    if args.lease_ttl <= 0:
+        raise SystemExit(
+            f"--lease-ttl must be a positive number of seconds, "
+            f"got {args.lease_ttl:g}"
+        )
+    if args.heartbeat_interval is not None:
+        if args.heartbeat_interval <= 0:
+            raise SystemExit(
+                f"--heartbeat-interval must be a positive number of "
+                f"seconds, got {args.heartbeat_interval:g}"
+            )
+        if args.heartbeat_interval >= args.lease_ttl:
+            raise SystemExit(
+                f"--heartbeat-interval ({args.heartbeat_interval:g}s) must "
+                f"be below --lease-ttl ({args.lease_ttl:g}s), or every "
+                f"lease expires between renewals"
+            )
 
 
 def _parse_sweep(raw: str) -> tuple[float, ...]:
@@ -426,6 +546,87 @@ def _cmd_fig3(args: argparse.Namespace) -> None:
         print(render_chart(table, log_scale=True))
     _export(table, args.csv, "csv")
     _export(table, args.json, "json")
+
+
+def _cmd_sweep_fabric(args: argparse.Namespace) -> None:
+    from repro.experiments.fig2 import fig2_cell, fig2_cells, fig2_tables
+    from repro.runtime import FabricConfig, current_runtime
+    from repro.runtime.fabric import FabricError, run_fabric
+
+    cells = fig2_cells(
+        _parse_sweep(args.interarrivals), n_packets=args.packets, seed=args.seed
+    )
+    context = current_runtime()
+    config = FabricConfig(
+        workers=args.workers,
+        lease_ttl=args.lease_ttl,
+        heartbeat_interval=args.heartbeat_interval,
+        fabric_dir=args.fabric_dir,
+    )
+    try:
+        results, report = run_fabric(
+            fig2_cell, cells, config=config, label="fig2", retry=context.retry
+        )
+    except FabricError as exc:
+        raise SystemExit(str(exc))
+    if report.failed:
+        print(report.render())
+        raise SystemExit(
+            f"{len(report.failed)} cells failed permanently; see the "
+            f"journals under {report.fabric_dir}"
+        )
+    mse, latency = fig2_tables(cells, results)
+    print(mse.render())
+    print()
+    print(latency.render())
+    if args.chart:
+        from repro.analysis.charts import render_chart
+
+        print()
+        print(render_chart(mse, log_scale=True))
+        print()
+        print(render_chart(latency))
+    _export(mse, args.csv, "csv")
+    _export(latency, args.csv, "csv", suffix="latency")
+    _export(mse, args.json, "json")
+    _export(latency, args.json, "json", suffix="latency")
+    print()
+    print(f"fabric dir: {report.fabric_dir}")
+    print(report.render())
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.runtime.fabric import FabricError, FabricWorker
+
+    if args.heartbeat_interval is not None and args.heartbeat_interval <= 0:
+        raise SystemExit(
+            f"--heartbeat-interval must be a positive number of seconds, "
+            f"got {args.heartbeat_interval:g}"
+        )
+    try:
+        worker = FabricWorker(
+            args.fabric_dir,
+            worker_id=args.worker_id,
+            cache_dir=args.cache_dir,
+            heartbeat_interval=args.heartbeat_interval,
+        )
+    except FabricError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"worker {worker.worker_id} joined {worker.fabric_dir} "
+        f"({len(worker.items)} cells, lease ttl {worker.lease_ttl:g}s)",
+        flush=True,
+    )
+    try:
+        computed = worker.run()
+    except KeyboardInterrupt:
+        print(f"worker {worker.worker_id}: interrupted, leases will lapse")
+        return 130
+    print(
+        f"worker {worker.worker_id}: computed {computed} cells "
+        f"({worker.steals} stolen from expired leases)"
+    )
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> None:
@@ -847,12 +1048,43 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"sweeps; reclaimed {reclaimed} bytes"
         )
     elif args.cache_command == "prune":
-        removed, reclaimed = cache.prune(args.max_bytes)
-        remaining = cache.disk_stats()
-        print(
-            f"pruned {removed} oldest entries; reclaimed {reclaimed} bytes; "
-            f"{remaining.entries} entries ({remaining.entry_bytes} bytes) remain"
-        )
+        if args.max_bytes is None and not args.compact_journals:
+            raise SystemExit(
+                "prune needs --max-bytes and/or --compact-journals"
+            )
+        if args.max_bytes is not None:
+            if args.max_bytes < 0:
+                raise SystemExit(
+                    f"--max-bytes must be non-negative, got {args.max_bytes}"
+                )
+            removed, reclaimed = cache.prune(args.max_bytes)
+            remaining = cache.disk_stats()
+            print(
+                f"pruned {removed} oldest entries; reclaimed {reclaimed} bytes; "
+                f"{remaining.entries} entries ({remaining.entry_bytes} bytes) remain"
+            )
+        if args.compact_journals:
+            from repro.runtime import compact_journal
+
+            targets = [p for p in journal_files() if p.suffix == ".jsonl"]
+            fabric_root = cache.directory / "fabric"
+            if fabric_root.is_dir():
+                targets.extend(sorted(fabric_root.glob("*/results/*.jsonl")))
+            reclaimed = dropped = 0
+            for path in targets:
+                stats = compact_journal(path)
+                reclaimed += stats.bytes_reclaimed
+                dropped += (
+                    stats.dropped_superseded
+                    + stats.dropped_events
+                    + stats.dropped_corrupt
+                )
+                if stats.bytes_reclaimed or stats.dropped_corrupt:
+                    print(f"  {stats.render()}")
+            print(
+                f"compacted {len(targets)} journals; dropped {dropped} "
+                f"lines, reclaimed {reclaimed} bytes"
+            )
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown cache command {args.cache_command!r}")
     return 0
@@ -869,6 +1101,8 @@ def _dispatch(args: argparse.Namespace) -> None:
         _cmd_run(args)
     elif args.command == "chaos":
         _cmd_chaos(args)
+    elif args.command == "sweep-fabric":
+        _cmd_sweep_fabric(args)
     elif args.command == "theory":
         _cmd_theory(args.fast)
     elif args.command == "queueing":
@@ -899,6 +1133,8 @@ def _main(argv: Sequence[str] | None = None) -> int:
         return _cmd_metrics(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command not in _SIMULATION_COMMANDS:
         _dispatch(args)
         return 0
@@ -914,6 +1150,8 @@ def _main(argv: Sequence[str] | None = None) -> int:
     )
 
     _validate_runtime_options(args)
+    if args.command == "sweep-fabric":
+        _validate_fabric_options(args)
     jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
     cache = None
     if not args.no_cache:

@@ -30,7 +30,15 @@ from repro.experiments.common import (
     score_flow,
 )
 
-__all__ = ["CASE_LABELS", "figure2", "figure2_mse", "figure2_latency"]
+__all__ = [
+    "CASE_LABELS",
+    "fig2_cell",
+    "fig2_cells",
+    "fig2_tables",
+    "figure2",
+    "figure2_mse",
+    "figure2_latency",
+]
 
 #: The paper's legend labels, keyed by evaluation case.
 CASE_LABELS: dict[str, str] = {
@@ -38,6 +46,78 @@ CASE_LABELS: dict[str, str] = {
     "unlimited": "Delay&UnlimitedBuffers",
     "rcad": "Delay&LimitedBuffers",
 }
+
+
+def fig2_cells(
+    interarrivals: Sequence[float] = PAPER_INTERARRIVALS,
+    n_packets: int = PAPER_N_PACKETS,
+    seed: int = 0,
+    flow_id: int = 1,
+) -> list[tuple[str, float, int, int, int]]:
+    """The flattened (case, 1/lambda) grid as self-contained cells.
+
+    Every cell carries all of its parameters so :func:`fig2_cell` is an
+    importable module-level function (``repro.experiments.fig2:fig2_cell``)
+    -- which is what lets ``repro worker`` processes on other hosts join
+    a fabric run of this grid.
+    """
+    return [
+        (case, float(interarrival), int(n_packets), int(seed), int(flow_id))
+        for case in CASE_LABELS
+        for interarrival in interarrivals
+    ]
+
+
+def fig2_cell(cell: tuple[str, float, int, int, int]) -> tuple[float, float]:
+    """Run and score one grid cell: ``(mse, mean_latency)`` for flow S1."""
+    case, interarrival, n_packets, seed, flow_id = cell
+    result = run_paper_case(
+        interarrival=interarrival, case=case, n_packets=n_packets, seed=seed
+    )
+    metrics = score_flow(
+        result, build_adversary("baseline", case), flow_id=flow_id
+    )
+    return metrics.mse, metrics.latency.mean
+
+
+def fig2_tables(
+    cells: Sequence[tuple[str, float, int, int, int]],
+    values: Sequence[tuple[float, float]],
+) -> tuple[ExperimentTable, ExperimentTable]:
+    """Assemble both Figure 2 panels from per-cell scores.
+
+    Shared by :func:`figure2` and ``repro sweep-fabric`` so the two
+    paths produce bit-identical tables from the same per-cell values.
+    """
+    mse_table = ExperimentTable(
+        title="Figure 2(a): adversary estimation error, flow S1",
+        x_label="1/lambda",
+        y_label="mean square error",
+    )
+    latency_table = ExperimentTable(
+        title="Figure 2(b): delivery latency, flow S1",
+        x_label="1/lambda",
+        y_label="mean end-to-end latency",
+    )
+    scores = dict(zip([tuple(cell) for cell in cells], values))
+    interarrivals: list[float] = []
+    for cell in cells:
+        if cell[1] not in interarrivals:
+            interarrivals.append(cell[1])
+    by_case = {cell[0]: cell for cell in cells}
+    for case, label in CASE_LABELS.items():
+        if case not in by_case:
+            continue
+        _, _, n_packets, seed, flow_id = by_case[case]
+        mse_values = [
+            scores[(case, ia, n_packets, seed, flow_id)][0] for ia in interarrivals
+        ]
+        latency_values = [
+            scores[(case, ia, n_packets, seed, flow_id)][1] for ia in interarrivals
+        ]
+        mse_table.add(ExperimentSeries(label, list(interarrivals), mse_values))
+        latency_table.add(ExperimentSeries(label, list(interarrivals), latency_values))
+    return mse_table, latency_table
 
 
 def figure2(
@@ -52,42 +132,10 @@ def figure2(
     once and scored for both panels, mirroring how the paper derives
     both plots from the same runs.
     """
-    mse_table = ExperimentTable(
-        title="Figure 2(a): adversary estimation error, flow S1",
-        x_label="1/lambda",
-        y_label="mean square error",
-    )
-    latency_table = ExperimentTable(
-        title="Figure 2(b): delivery latency, flow S1",
-        x_label="1/lambda",
-        y_label="mean end-to-end latency",
-    )
-
     # Flatten the (case, 1/lambda) grid into independent cells so the
     # active executor can fan every simulation out at once.
-    cells = [
-        (case, interarrival)
-        for case in CASE_LABELS
-        for interarrival in interarrivals
-    ]
-
-    def run_cell(cell: tuple[str, float]) -> tuple[float, float]:
-        case, interarrival = cell
-        result = run_paper_case(
-            interarrival=interarrival, case=case, n_packets=n_packets, seed=seed
-        )
-        metrics = score_flow(
-            result, build_adversary("baseline", case), flow_id=flow_id
-        )
-        return metrics.mse, metrics.latency.mean
-
-    scores = dict(zip(cells, sweep(cells, run_cell)))
-    for case, label in CASE_LABELS.items():
-        mse_values = [scores[(case, ia)][0] for ia in interarrivals]
-        latency_values = [scores[(case, ia)][1] for ia in interarrivals]
-        mse_table.add(ExperimentSeries(label, list(interarrivals), mse_values))
-        latency_table.add(ExperimentSeries(label, list(interarrivals), latency_values))
-    return mse_table, latency_table
+    cells = fig2_cells(interarrivals, n_packets, seed, flow_id)
+    return fig2_tables(cells, sweep(cells, fig2_cell))
 
 
 def figure2_mse(

@@ -30,7 +30,12 @@ per-cell simulator invocation.  This package instruments both:
   serial when the pool cannot be rebuilt;
 * :mod:`repro.runtime.journal` -- the append-only checkpoint journal
   (JSONL of completed cell results, checksummed line-by-line) that
-  makes interrupted sweeps resumable via ``--resume``.
+  makes interrupted sweeps resumable via ``--resume``;
+* :mod:`repro.runtime.fabric` -- the distributed sweep fabric: a
+  lease-based coordinator/worker layer over the journal and cache that
+  shards one grid across worker processes (or hosts sharing a cache
+  directory), steals work from crashed workers, and merges results in
+  item order so distributed runs stay bit-identical to serial.
 """
 
 from repro.runtime.cache import (
@@ -54,13 +59,28 @@ from repro.runtime.executors import (
     WorkerError,
 )
 from repro.runtime.fingerprint import code_salt, stable_fingerprint
-from repro.runtime.journal import JournalStats, SweepJournal, sweep_fingerprint
+from repro.runtime.journal import (
+    CompactionStats,
+    JournalStats,
+    SweepJournal,
+    compact_journal,
+    sweep_fingerprint,
+)
 from repro.runtime.supervisor import (
     FailureRecord,
     FailureReport,
     RetryPolicy,
     Supervisor,
     supervised_map,
+)
+
+# Imported last: the fabric layers on top of every module above.
+from repro.runtime.fabric import (  # noqa: E402
+    FabricConfig,
+    FabricError,
+    FabricReport,
+    FabricWorker,
+    run_fabric,
 )
 
 __all__ = [
@@ -80,12 +100,19 @@ __all__ = [
     "WorkerError",
     "code_salt",
     "stable_fingerprint",
+    "CompactionStats",
     "JournalStats",
     "SweepJournal",
+    "compact_journal",
     "sweep_fingerprint",
     "FailureRecord",
     "FailureReport",
     "RetryPolicy",
     "Supervisor",
     "supervised_map",
+    "FabricConfig",
+    "FabricError",
+    "FabricReport",
+    "FabricWorker",
+    "run_fabric",
 ]

@@ -29,6 +29,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
@@ -208,13 +209,18 @@ class ResultCache:
         payload = pickle.dumps(
             (float(elapsed), result), protocol=pickle.HIGHEST_PROTOCOL
         )
-        # Atomic publish: concurrent workers may race on the same key,
-        # but every one of them writes the identical bytes-for-bytes
-        # payload, so last-replace-wins is harmless.
+        # Atomic publish: concurrent workers (possibly on other hosts,
+        # via the fabric's shared-cache-dir mode) may race on the same
+        # key, but every one of them writes the identical byte-for-byte
+        # payload, so last-replace-wins is harmless.  The fsync before
+        # the rename keeps a power-cut from publishing a name whose
+        # data blocks never hit the disk.
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(_frame_payload(payload))
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -248,14 +254,44 @@ class ResultCache:
                     stats.quarantined_bytes += path.stat().st_size
         return stats
 
+    def sweep_stale_tmp(self, max_age_seconds: float = 3600.0) -> int:
+        """Delete abandoned ``*.tmp`` files older than ``max_age_seconds``.
+
+        A writer killed between ``mkstemp`` and ``os.replace`` leaves an
+        invisible-but-real temp file behind; entries themselves are
+        never torn (the rename is atomic), but the strays accumulate.
+        The age guard keeps a sweep from deleting a temp file another
+        live writer is about to rename.  Returns the number removed.
+        """
+        if not self.directory.is_dir():
+            return 0
+        cutoff = time.time() - max(0.0, max_age_seconds)
+        removed = 0
+        candidates = list(self.directory.glob("*.tmp"))
+        for shard in self.directory.iterdir():
+            if shard.is_dir() and len(shard.name) == 2:
+                candidates.extend(shard.glob("*.tmp"))
+        for path in candidates:
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:  # pragma: no cover - racy cleanup is best-effort
+                continue
+        return removed
+
     def verify(self) -> "CacheVerifyReport":
-        """Checksum-and-unpickle every entry, quarantining the bad ones."""
+        """Checksum-and-unpickle every entry, quarantining the bad ones.
+
+        Also sweeps stale writer temp files (see :meth:`sweep_stale_tmp`).
+        """
         report = CacheVerifyReport()
         for path in list(self.iter_entry_paths()):
             report.checked += 1
             if self._load_entry(path) is None:
                 report.quarantined.append(path.name)
                 self._quarantine(path)
+        report.stale_tmp_removed = self.sweep_stale_tmp()
         return report
 
     def purge(self, include_quarantine: bool = True) -> tuple[int, int]:
@@ -328,6 +364,7 @@ class CacheVerifyReport:
 
     checked: int = 0
     quarantined: list[str] = field(default_factory=list)
+    stale_tmp_removed: int = 0
 
     @property
     def ok(self) -> int:
@@ -335,6 +372,8 @@ class CacheVerifyReport:
 
     def render(self) -> str:
         line = f"verified {self.checked} entries: {self.ok} ok, {len(self.quarantined)} quarantined"
+        if self.stale_tmp_removed:
+            line += f"; swept {self.stale_tmp_removed} stale tmp files"
         for name in self.quarantined:
             line += f"\n  quarantined {name}"
         return line

@@ -1,0 +1,1187 @@
+"""Distributed sweep fabric: lease-based coordinator/worker execution.
+
+The parallel runtime (PRs 2-4) fans a sweep out over a process pool
+inside *one* supervising process.  The fabric scales the same sweeps
+past that boundary: a **coordinator** shards the grid into leased work
+units recorded in a shared *fabric directory*, and **workers** -- forked
+locally by the coordinator, or joined from anywhere via ``repro worker``
+pointed at the same directory -- claim leases, run cells, and append
+results to checksummed per-worker journals.  Sharing a result-cache
+directory between hosts gives free cross-worker dedup: a cell computed
+anywhere is a cache hit everywhere.
+
+Layout of one fabric directory (all writes atomic or append-only)::
+
+    <fabric-dir>/
+      grid.jsonl          # header + one checksummed pickled item per line
+      leases/NNNNNN.json  # worker id + epoch + claim time, per cell
+      workers/<id>.json   # heartbeat: deadline = now + lease TTL
+      results/<id>.jsonl  # SweepJournal-format cell records + event lines
+
+Robustness model
+----------------
+
+Leases are an *optimization*, not a correctness mechanism.  Every cell
+is deterministic (all randomness comes from the item's seed), result
+journals are checksummed line-by-line, and cache writes are atomic
+temp-file + rename -- so duplicated work caused by any lease race
+produces byte-identical records and the merge cannot be corrupted.
+What the lease protocol buys is *liveness without duplication* in the
+common case:
+
+* a worker's lease is its id plus a heartbeat deadline; the worker
+  renews its heartbeat file every ``heartbeat_interval`` seconds;
+* a lease whose owner has a stale heartbeat **and** whose claim is
+  older than ``lease_ttl`` is expired; any live worker steals it
+  (epoch + 1, atomic replace) and reruns the cell -- work stealing
+  from crashed or straggling workers;
+* a SIGKILLed worker mid-cell loses nothing: its lease lapses, the
+  cell is stolen and rerun, and a torn final journal line fails its
+  checksum and is ignored;
+* the coordinator is crash-safe: rerunning it loads the grid and every
+  verified journal line, so completed cells are never recomputed;
+* if every worker is dead (or none ever joins), the coordinator falls
+  back to in-process serial completion with a structured warning.
+
+Results merge in item order, so a distributed run is bit-identical to
+:class:`~repro.runtime.executors.SerialExecutor`
+(``tests/test_runtime_determinism.py`` proves it).  Lease churn,
+steals, reclaims and per-worker throughput publish through
+:mod:`repro.telemetry` when the ambient context collects it.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import importlib
+import json
+import multiprocessing
+import os
+import pickle
+import re
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.runtime import executors as _executors
+from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.journal import (
+    decode_cell_entry,
+    encode_cell_entry,
+    sweep_fingerprint,
+)
+from repro.runtime.supervisor import RetryPolicy, supervised_map
+
+__all__ = [
+    "FABRIC_VERSION",
+    "FabricError",
+    "FabricConfig",
+    "FabricReport",
+    "FabricWorker",
+    "run_fabric",
+    "write_grid",
+    "load_grid",
+    "resolve_function_ref",
+]
+
+#: Bump to orphan existing fabric directories (format changes).
+FABRIC_VERSION = 1
+
+_GRID_FILE = "grid.jsonl"
+_LEASE_DIR = "leases"
+_WORKER_DIR = "workers"
+_RESULT_DIR = "results"
+
+
+class FabricError(RuntimeError):
+    """A fabric directory is unusable (torn grid, wrong sweep, no fn)."""
+
+
+# ----------------------------------------------------------------------
+# Small atomic-file helpers.  Every mutable file in the fabric directory
+# (heartbeats, stolen leases, the grid itself) is published with temp
+# file + ``os.replace`` so no reader can ever observe a torn write.
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> dict | None:
+    """Parse one JSON file, or None when missing/torn (never raises)."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return payload if isinstance(payload, dict) else None
+    except Exception:
+        return None
+
+
+def _safe_worker_id(worker_id: str) -> str:
+    """Worker ids become file names; keep them shell- and fs-safe."""
+    cleaned = re.sub(r"[^A-Za-z0-9._-]+", "-", worker_id).strip("-.")
+    if not cleaned:
+        raise FabricError(f"unusable worker id {worker_id!r}")
+    return cleaned
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>``: unique enough for externally joined workers."""
+    return _safe_worker_id(f"{socket.gethostname()}-{os.getpid()}")
+
+
+# ----------------------------------------------------------------------
+# Configuration.
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Timing and sizing of one fabric run.
+
+    Parameters
+    ----------
+    workers:
+        Local worker processes the coordinator forks (0 = coordinate
+        externally joined ``repro worker`` processes only; with none
+        joining, the coordinator completes serially after one lease
+        TTL).
+    lease_ttl:
+        Seconds of heartbeat silence after which a worker's leases are
+        considered expired and stealable.
+    heartbeat_interval:
+        Heartbeat renewal period; defaults to ``lease_ttl / 3`` and
+        must stay below ``lease_ttl`` (a worker must be able to renew
+        several times within one TTL).
+    poll_interval:
+        Coordinator/worker scan period for journals and leases.
+    fabric_dir:
+        Shared state directory; defaults to
+        ``<cache-dir>/fabric/<sweep-id[:16]>``.
+    cache_dir:
+        Result-cache directory handed to every worker (the shared-dir
+        dedup trick); None disables worker-side caching.
+    """
+
+    workers: int = 2
+    lease_ttl: float = 30.0
+    heartbeat_interval: float | None = None
+    poll_interval: float = 0.2
+    fabric_dir: str | Path | None = None
+    cache_dir: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be non-negative, got {self.workers}")
+        if self.lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {self.lease_ttl}")
+        if self.heartbeat_interval is not None:
+            if self.heartbeat_interval <= 0:
+                raise ValueError(
+                    f"heartbeat_interval must be positive, "
+                    f"got {self.heartbeat_interval}"
+                )
+            if self.heartbeat_interval >= self.lease_ttl:
+                raise ValueError(
+                    f"heartbeat_interval ({self.heartbeat_interval:g}s) must be "
+                    f"below lease_ttl ({self.lease_ttl:g}s) or every lease "
+                    f"expires between renewals"
+                )
+        if self.poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be positive, got {self.poll_interval}"
+            )
+
+    @property
+    def effective_heartbeat_interval(self) -> float:
+        if self.heartbeat_interval is not None:
+            return self.heartbeat_interval
+        return self.lease_ttl / 3.0
+
+
+# ----------------------------------------------------------------------
+# Grid spec: the sweep's items, serialized once by the coordinator so
+# any process (any host) can reconstruct the work list.
+
+
+def function_ref(fn: Callable) -> str | None:
+    """``module:qualname`` if ``fn`` is importable by that name, else None.
+
+    Closures and lambdas return None: locally forked workers inherit
+    them through :data:`_FABRIC_FN`, but externally joined workers
+    cannot run such a grid (they get a clear :class:`FabricError`).
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", "")
+    if not module or not qualname or "<" in qualname:
+        return None
+    try:
+        if resolve_function_ref(f"{module}:{qualname}") is not fn:
+            return None
+    except Exception:
+        return None
+    return f"{module}:{qualname}"
+
+
+def resolve_function_ref(ref: str) -> Callable:
+    """Import the callable named by a ``module:qualname`` reference."""
+    module_name, _, qualname = ref.partition(":")
+    if not module_name or not qualname:
+        raise FabricError(f"malformed function reference {ref!r}")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise FabricError(f"function reference {ref!r} is not callable")
+    return obj
+
+
+def write_grid(
+    fabric_dir: Path,
+    sweep_id: str,
+    label: str,
+    items: Sequence[object],
+    fn_ref: str | None,
+    config: FabricConfig,
+) -> None:
+    """Publish the grid spec atomically (header + one line per item)."""
+    lines = [
+        json.dumps(
+            {
+                "kind": "header",
+                "version": FABRIC_VERSION,
+                "sweep": sweep_id,
+                "label": label,
+                "n_items": len(items),
+                "fn_ref": fn_ref,
+                "lease_ttl": config.lease_ttl,
+                "heartbeat_interval": config.effective_heartbeat_interval,
+                "cache_dir": (
+                    str(config.cache_dir) if config.cache_dir is not None else None
+                ),
+            }
+        )
+    ]
+    for index, item in enumerate(items):
+        data = pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "item",
+                    "index": index,
+                    "sha": hashlib.sha256(data).hexdigest(),
+                    "data": base64.b64encode(data).decode("ascii"),
+                }
+            )
+        )
+    payload = "".join(line + "\n" for line in lines)
+    fabric_dir.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=fabric_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, fabric_dir / _GRID_FILE)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def load_grid(fabric_dir: Path) -> tuple[dict, list[object]]:
+    """``(header, items)`` from a fabric directory.
+
+    Unlike result journals, a torn grid is fatal: workers must agree on
+    the exact item list or lease indices would name different cells.
+    """
+    path = Path(fabric_dir) / _GRID_FILE
+    if not path.is_file():
+        raise FabricError(f"no grid at {path}; start a coordinator first")
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise FabricError(f"empty grid at {path}")
+    try:
+        header = json.loads(lines[0])
+        if header.get("kind") != "header" or header.get("version") != FABRIC_VERSION:
+            raise ValueError("bad header")
+        n_items = int(header["n_items"])
+    except Exception as exc:
+        raise FabricError(f"unreadable grid header at {path}: {exc!r}") from exc
+    items: dict[int, object] = {}
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+            if entry.get("kind") != "item":
+                continue
+            index = int(entry["index"])
+            data = base64.b64decode(entry["data"], validate=True)
+            if hashlib.sha256(data).hexdigest() != entry["sha"]:
+                raise ValueError("checksum mismatch")
+            items[index] = pickle.loads(data)
+        except Exception as exc:
+            raise FabricError(f"corrupt grid item at {path}: {exc!r}") from exc
+    if sorted(items) != list(range(n_items)):
+        raise FabricError(
+            f"torn grid at {path}: {len(items)} of {n_items} items present"
+        )
+    return header, [items[i] for i in range(n_items)]
+
+
+# ----------------------------------------------------------------------
+# Lease board.
+
+
+@dataclass
+class Lease:
+    """One cell's current owner."""
+
+    index: int
+    worker: str
+    epoch: int
+    claimed_at: float
+    stolen_from: str | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "lease",
+            "index": self.index,
+            "worker": self.worker,
+            "epoch": self.epoch,
+            "claimed_at": self.claimed_at,
+            "stolen_from": self.stolen_from,
+        }
+
+
+class LeaseBoard:
+    """Claim/steal protocol over ``<fabric-dir>/leases/``.
+
+    A fresh claim is an ``O_CREAT | O_EXCL`` create (exactly one racing
+    worker wins).  A steal of an expired lease is an atomic replace
+    carrying ``epoch + 1``; two workers racing a steal may both run the
+    cell, which is harmless (deterministic cells, checksummed journals,
+    later-wins merge).
+    """
+
+    def __init__(self, fabric_dir: Path, worker_id: str, lease_ttl: float) -> None:
+        self.directory = Path(fabric_dir) / _LEASE_DIR
+        self.worker_dir = Path(fabric_dir) / _WORKER_DIR
+        self.worker_id = worker_id
+        self.lease_ttl = float(lease_ttl)
+
+    def path(self, index: int) -> Path:
+        return self.directory / f"{index:06d}.json"
+
+    def read(self, index: int) -> Lease | None:
+        """The current lease on a cell, or None (missing or torn)."""
+        path = self.path(index)
+        payload = _read_json(path)
+        if payload is None:
+            if not path.exists():
+                return None
+            # Torn lease (killed mid-create): age it by file mtime so it
+            # becomes stealable after one TTL.
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                return None
+            return Lease(index=index, worker="?", epoch=0, claimed_at=mtime)
+        try:
+            return Lease(
+                index=int(payload["index"]),
+                worker=str(payload["worker"]),
+                epoch=int(payload["epoch"]),
+                claimed_at=float(payload["claimed_at"]),
+                stolen_from=payload.get("stolen_from"),
+            )
+        except Exception:
+            return Lease(index=index, worker="?", epoch=0, claimed_at=0.0)
+
+    def _heartbeat_fresh(self, worker: str, now: float) -> bool:
+        payload = _read_json(self.worker_dir / f"{worker}.json")
+        if payload is None or payload.get("left"):
+            return False
+        try:
+            return float(payload["deadline"]) >= now
+        except Exception:
+            return False
+
+    def is_expired(self, lease: Lease, now: float | None = None) -> bool:
+        """Stale owner heartbeat *and* claim older than one TTL."""
+        now = time.time() if now is None else now
+        if self._heartbeat_fresh(lease.worker, now):
+            return False
+        return now - lease.claimed_at >= self.lease_ttl
+
+    def try_claim(self, index: int) -> tuple[bool, str | None]:
+        """Attempt to own a cell.
+
+        Returns ``(claimed, victim)``: ``victim`` is the previous owner
+        when the claim was a steal of an expired lease.
+        """
+        path = self.path(index)
+        lease = Lease(
+            index=index, worker=self.worker_id, epoch=0, claimed_at=time.time()
+        )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            existing = self.read(index)
+            if existing is None or not self.is_expired(existing):
+                return False, None
+            lease.epoch = existing.epoch + 1
+            lease.stolen_from = existing.worker
+            _atomic_write_json(path, lease.to_json())
+            return True, existing.worker
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(lease.to_json(), handle)
+            handle.flush()
+        return True, None
+
+    def stats(self) -> tuple[int, int]:
+        """``(claims, steals)`` counted from the lease files on disk."""
+        claims = steals = 0
+        if not self.directory.is_dir():
+            return 0, 0
+        for path in self.directory.glob("*.json"):
+            payload = _read_json(path)
+            if payload is None:
+                continue
+            claims += 1
+            steals += int(payload.get("epoch", 0))
+        return claims, steals
+
+
+# ----------------------------------------------------------------------
+# Heartbeats.
+
+
+class Heartbeat:
+    """Periodic liveness record for one worker (daemon-thread renewal)."""
+
+    def __init__(
+        self,
+        fabric_dir: Path,
+        worker_id: str,
+        lease_ttl: float,
+        interval: float,
+    ) -> None:
+        self.path = Path(fabric_dir) / _WORKER_DIR / f"{worker_id}.json"
+        self.worker_id = worker_id
+        self.lease_ttl = float(lease_ttl)
+        self.interval = float(interval)
+        self.cells_done = 0
+        self.beats = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def beat(self, left: bool = False) -> None:
+        now = time.time()
+        self.beats += 1
+        _atomic_write_json(
+            self.path,
+            {
+                "kind": "heartbeat",
+                "worker": self.worker_id,
+                "pid": os.getpid(),
+                "deadline": now if left else now + self.lease_ttl,
+                "beats": self.beats,
+                "cells_done": self.cells_done,
+                "left": left,
+            },
+        )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.beat()
+            except OSError:  # pragma: no cover - transient fs failure
+                pass
+
+    def start(self) -> None:
+        self.beat()
+        self._thread = threading.Thread(
+            target=self._run, name=f"fabric-heartbeat-{self.worker_id}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, left: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval + 1.0)
+            self._thread = None
+        try:
+            self.beat(left=left)
+        except OSError:  # pragma: no cover - transient fs failure
+            pass
+
+
+# ----------------------------------------------------------------------
+# Incremental, torn-write-tolerant scanner over the result journals.
+
+
+class ResultsScanner:
+    """Accumulates verified cells from every ``results/*.jsonl``.
+
+    Tracks a byte offset per journal so repeated polling re-reads only
+    appended data.  A final line without a newline is a write in
+    progress and is left for the next scan; a complete line that fails
+    parsing or its checksum is counted corrupt and skipped (the cell it
+    described simply stays pending and is recomputed).
+    """
+
+    def __init__(self, fabric_dir: Path, n_items: int) -> None:
+        self.directory = Path(fabric_dir) / _RESULT_DIR
+        self.n_items = int(n_items)
+        self.cells: dict[int, object] = {}
+        self.failed: dict[int, str] = {}
+        self.per_worker: dict[str, int] = {}
+        self.events: list[dict] = []
+        self.corrupt_lines = 0
+        self._offsets: dict[Path, int] = {}
+
+    @property
+    def done(self) -> set[int]:
+        """Indices that need no further work (completed or failed)."""
+        return set(self.cells) | set(self.failed)
+
+    def scan(self) -> dict[int, object]:
+        if not self.directory.is_dir():
+            return self.cells
+        for path in sorted(self.directory.glob("*.jsonl")):
+            self._scan_file(path)
+        return self.cells
+
+    def _scan_file(self, path: Path) -> None:
+        offset = self._offsets.get(path, 0)
+        try:
+            with path.open("rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+        except OSError:
+            return
+        if not chunk:
+            return
+        # Only complete (newline-terminated) lines are parsed; the
+        # remainder is an in-flight append and stays unconsumed.
+        cut = chunk.rfind(b"\n")
+        if cut < 0:
+            return
+        complete, self._offsets[path] = chunk[: cut + 1], offset + cut + 1
+        worker = path.stem
+        for raw in complete.splitlines():
+            if not raw.strip():
+                continue
+            try:
+                entry = json.loads(raw.decode("utf-8"))
+                kind = entry.get("kind")
+                if kind == "cell":
+                    index, value = decode_cell_entry(entry, self.n_items)
+                    self.cells[index] = value
+                    self.failed.pop(index, None)
+                    self.per_worker[worker] = self.per_worker.get(worker, 0) + 1
+                elif kind == "failed":
+                    index = int(entry["index"])
+                    if not 0 <= index < self.n_items:
+                        raise ValueError(f"index {index} out of range")
+                    if index not in self.cells:
+                        self.failed[index] = str(entry.get("error", "unknown"))
+                elif kind == "event":
+                    self.events.append(entry)
+                # header / unknown kinds: ignored.
+            except Exception:
+                self.corrupt_lines += 1
+
+
+# ----------------------------------------------------------------------
+# Worker.
+
+#: Armed by the coordinator immediately before forking local workers so
+#: the children inherit sweep closures that stdlib pickle cannot ship
+#: (the same idiom as ``executors._ACTIVE``).
+_FABRIC_FN: Callable | None = None
+
+
+class FabricWorker:
+    """One lease-claiming worker bound to a fabric directory.
+
+    Parameters
+    ----------
+    fabric_dir:
+        The coordinator's shared state directory.
+    worker_id:
+        Unique id (becomes the heartbeat/journal file names); defaults
+        to ``<hostname>-<pid>``.
+    fn:
+        The cell function.  Defaults to the grid's ``fn_ref`` import;
+        required (via fork inheritance) when the grid has none.
+    cache_dir:
+        Result-cache root; defaults to the grid header's ``cache_dir``.
+    retry:
+        Per-cell :class:`~repro.runtime.supervisor.RetryPolicy`; cells
+        are run through :func:`supervised_map`, so retries and
+        quarantine behave exactly as in single-host sweeps.  A cell
+        failing permanently journals a ``failed`` record (superseded if
+        another worker later succeeds).
+    """
+
+    def __init__(
+        self,
+        fabric_dir: str | Path,
+        worker_id: str | None = None,
+        fn: Callable | None = None,
+        cache_dir: str | Path | None = None,
+        heartbeat_interval: float | None = None,
+        poll_interval: float = 0.1,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.fabric_dir = Path(fabric_dir)
+        self.header, self.items = load_grid(self.fabric_dir)
+        self.worker_id = _safe_worker_id(worker_id or default_worker_id())
+        if fn is None:
+            ref = self.header.get("fn_ref")
+            if not ref:
+                raise FabricError(
+                    "this grid has no importable cell function (the sweep "
+                    "body is a closure); only coordinator-forked workers "
+                    "can run it"
+                )
+            fn = resolve_function_ref(ref)
+        self.fn = fn
+        if cache_dir is None:
+            cache_dir = self.header.get("cache_dir")
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.lease_ttl = float(self.header.get("lease_ttl", 30.0))
+        self.heartbeat_interval = float(
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else self.header.get("heartbeat_interval", self.lease_ttl / 3.0)
+        )
+        if self.heartbeat_interval <= 0:
+            raise FabricError(
+                f"heartbeat interval must be positive, "
+                f"got {self.heartbeat_interval}"
+            )
+        self.poll_interval = float(poll_interval)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.board = LeaseBoard(self.fabric_dir, self.worker_id, self.lease_ttl)
+        self.scanner = ResultsScanner(self.fabric_dir, len(self.items))
+        self.heartbeat = Heartbeat(
+            self.fabric_dir, self.worker_id, self.lease_ttl,
+            self.heartbeat_interval,
+        )
+        self._journal = None
+        self.cells_computed = 0
+        self.steals = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> Path:
+        return self.fabric_dir / _RESULT_DIR / f"{self.worker_id}.jsonl"
+
+    def _journal_write(self, entry: dict) -> None:
+        """Append one record, fsynced so a SIGKILL tears at most the
+        line being written (which the scanner's checksum rejects)."""
+        if self._journal is None:
+            self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.journal_path.exists()
+            self._journal = self.journal_path.open("a", encoding="utf-8")
+            if fresh:
+                self._journal_write(
+                    {
+                        "kind": "header",
+                        "version": FABRIC_VERSION,
+                        "sweep": self.header["sweep"],
+                        "worker": self.worker_id,
+                        "n_items": len(self.items),
+                    }
+                )
+        self._journal.write(json.dumps(entry) + "\n")
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+
+    def close(self) -> None:
+        if self._journal is not None:
+            try:
+                self._journal.close()
+            finally:
+                self._journal = None
+
+    # ------------------------------------------------------------------
+    def _claim_next(self) -> tuple[int, str | None] | None:
+        """The next cell this worker now owns, or None when nothing is
+        claimable right now (all pending cells are validly leased)."""
+        done = self.scanner.done
+        n = len(self.items)
+        if len(done) >= n:
+            return None
+        # Start each worker at a different point of the index space so
+        # concurrent claims rarely collide on the same lease file.
+        start = (
+            int(hashlib.sha256(self.worker_id.encode()).hexdigest(), 16) % n
+        )
+        for step in range(n):
+            index = (start + step) % n
+            if index in done:
+                continue
+            claimed, victim = self.board.try_claim(index)
+            if claimed:
+                return index, victim
+        return None
+
+    def _run_cell(self, index: int) -> None:
+        from repro.runtime.context import current_runtime
+
+        label = f"fabric:{self.header['sweep'][:12]}[{index}]"
+        try:
+            values = supervised_map(
+                self.fn, [self.items[index]], current_runtime(), label=label
+            )
+            value = values[0]
+            context = current_runtime()
+            if value is None and context.failure_reports:
+                report = context.failure_reports[-1]
+                raise RuntimeError(
+                    f"cell quarantined after retries: "
+                    f"{report.failures[-1].message if report.failures else '?'}"
+                )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            self._journal_write(
+                {
+                    "kind": "failed",
+                    "index": index,
+                    "worker": self.worker_id,
+                    "error": repr(exc)[:500],
+                }
+            )
+            return
+        entry = encode_cell_entry(index, value)
+        if entry is None:
+            self._journal_write(
+                {
+                    "kind": "failed",
+                    "index": index,
+                    "worker": self.worker_id,
+                    "error": "result is not picklable",
+                }
+            )
+            return
+        entry["worker"] = self.worker_id
+        self._journal_write(entry)
+        self.cells_computed += 1
+        self.heartbeat.cells_done = self.cells_computed
+
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Claim-and-compute until the whole grid is complete.
+
+        Returns the number of cells this worker computed.  The loop
+        exits only when every cell has a verified result (or permanent
+        failure) in some journal -- a worker with nothing claimable
+        keeps polling so it can steal from a straggler that dies.
+        """
+        from repro.runtime.context import use_runtime
+
+        self.heartbeat.start()
+        cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        try:
+            with use_runtime(jobs=1, cache=cache, retry=self.retry):
+                while True:
+                    self.scanner.scan()
+                    if len(self.scanner.done) >= len(self.items):
+                        break
+                    claim = self._claim_next()
+                    if claim is None:
+                        time.sleep(self.poll_interval)
+                        continue
+                    index, victim = claim
+                    if victim is not None:
+                        self.steals += 1
+                        self._journal_write(
+                            {
+                                "kind": "event",
+                                "event": "steal",
+                                "index": index,
+                                "worker": self.worker_id,
+                                "victim": victim,
+                            }
+                        )
+                    # The victim may have finished between our scan and
+                    # the steal; re-scan so a completed cell is never
+                    # recomputed.
+                    self.scanner.scan()
+                    if index in self.scanner.done:
+                        continue
+                    self._run_cell(index)
+        finally:
+            self.heartbeat.stop(left=True)
+            self.close()
+        return self.cells_computed
+
+
+def _forked_worker_main(
+    fabric_dir: str,
+    worker_id: str,
+    poll_interval: float,
+    retry: RetryPolicy | None,
+) -> None:
+    """Entry point of a coordinator-forked worker process."""
+    # Nested sweeps inside a cell must stay serial in here.
+    _executors._IN_WORKER = True
+    worker = FabricWorker(
+        fabric_dir,
+        worker_id=worker_id,
+        fn=_FABRIC_FN,
+        poll_interval=poll_interval,
+        retry=retry,
+    )
+    worker.run()
+
+
+# ----------------------------------------------------------------------
+# Coordinator.
+
+
+@dataclass
+class FabricReport:
+    """Structured outcome of one fabric run (the CLI's trailer lines)."""
+
+    label: str
+    n_items: int
+    fabric_dir: Path
+    sweep_id: str
+    workers_spawned: int = 0
+    resumed: int = 0
+    computed: int = 0
+    claims: int = 0
+    steals: int = 0
+    reclaims: int = 0
+    corrupt_lines: int = 0
+    degraded: bool = False
+    warning: str | None = None
+    per_worker: dict[str, int] = field(default_factory=dict)
+    failed: dict[int, str] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"fabric: {self.n_items} cells ({self.resumed} resumed, "
+            f"{self.computed} computed) in {self.wall_seconds:.1f}s; "
+            f"{self.claims} leases, {self.steals} steals, "
+            f"{self.reclaims} reclaims, {self.corrupt_lines} corrupt lines"
+        ]
+        for worker in sorted(self.per_worker):
+            count = self.per_worker[worker]
+            rate = count / self.wall_seconds if self.wall_seconds > 0 else 0.0
+            lines.append(
+                f"  worker {worker}: {count} cells ({rate:.2f} cells/s)"
+            )
+        if self.degraded:
+            lines.append(f"  WARNING: {self.warning or 'degraded run'}")
+        for index in sorted(self.failed):
+            lines.append(f"  cell {index} FAILED: {self.failed[index]}")
+        return "\n".join(lines)
+
+
+def _publish_fabric_telemetry(report: FabricReport) -> None:
+    """Fold the fabric counters into the ambient telemetry aggregate."""
+    from repro.runtime.context import current_runtime
+
+    telemetry = current_runtime().telemetry
+    if telemetry is None:
+        return
+    from repro.telemetry import RunTelemetry
+
+    run = RunTelemetry()
+    registry = run.registry
+    registry.counter("fabric/cells-computed").inc(report.computed)
+    registry.counter("fabric/cells-resumed").inc(report.resumed)
+    registry.counter("fabric/lease-claims").inc(report.claims)
+    registry.counter("fabric/lease-steals").inc(report.steals)
+    registry.counter("fabric/lease-reclaims").inc(report.reclaims)
+    registry.counter("fabric/corrupt-lines").inc(report.corrupt_lines)
+    registry.counter("fabric/cells-failed").inc(len(report.failed))
+    registry.gauge("fabric/workers").set(float(report.workers_spawned))
+    registry.gauge("fabric/degraded").set(1.0 if report.degraded else 0.0)
+    registry.gauge("fabric/wall-seconds").set(report.wall_seconds)
+    for worker in sorted(report.per_worker):
+        registry.counter(f"fabric/cells-by/{worker}").inc(
+            report.per_worker[worker]
+        )
+    telemetry.add_run(f"fabric:{report.sweep_id[:12]}", run)
+
+
+def _sweep_label(fn: Callable) -> str:
+    module = getattr(fn, "__module__", "?")
+    name = getattr(fn, "__qualname__", repr(fn))
+    return f"{module}.{name}"
+
+
+def run_fabric(
+    fn: Callable,
+    items: Sequence[object],
+    config: FabricConfig | None = None,
+    label: str | None = None,
+    fn_ref: str | None = None,
+    retry: RetryPolicy | None = None,
+) -> tuple[list[object | None], FabricReport]:
+    """Run one sweep through the distributed fabric.
+
+    Returns ``(results, report)`` with ``results`` in item order --
+    bit-identical to ``SerialExecutor().map(fn, items)`` for every cell
+    that succeeds (permanently failed cells hold ``None`` and are
+    listed in ``report.failed``).
+
+    The fabric directory is derived from the sweep's fingerprint, so
+    rerunning an interrupted coordinator resumes it: every verified
+    journal line is loaded back and only the missing cells are
+    dispatched.  ``fn_ref`` (``module:qualname``) is resolved
+    automatically for importable functions; grids carrying one accept
+    externally joined ``repro worker`` processes.
+    """
+    config = config if config is not None else FabricConfig()
+    items = list(items)
+    if not items:
+        raise ValueError("fabric sweep needs at least one item")
+    if label is None:
+        label = _sweep_label(fn)
+    try:
+        sweep_id = sweep_fingerprint(label, items)
+    except TypeError as exc:
+        raise FabricError(
+            f"sweep items are not fingerprintable ({exc}); the fabric "
+            f"cannot identify the grid across processes"
+        ) from exc
+    if fn_ref is None:
+        fn_ref = function_ref(fn)
+
+    cache_dir = config.cache_dir
+    if cache_dir is None:
+        from repro.runtime.context import current_runtime
+
+        active_cache = current_runtime().cache
+        if active_cache is not None:
+            cache_dir = active_cache.directory
+    if config.fabric_dir is not None:
+        fabric_dir = Path(config.fabric_dir)
+    else:
+        root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        fabric_dir = root / "fabric" / sweep_id[:16]
+    config = FabricConfig(
+        workers=config.workers,
+        lease_ttl=config.lease_ttl,
+        heartbeat_interval=config.heartbeat_interval,
+        poll_interval=config.poll_interval,
+        fabric_dir=fabric_dir,
+        cache_dir=cache_dir,
+    )
+
+    started = time.monotonic()
+    report = FabricReport(
+        label=label, n_items=len(items), fabric_dir=fabric_dir, sweep_id=sweep_id
+    )
+
+    grid_path = fabric_dir / _GRID_FILE
+    if grid_path.is_file():
+        header, _ = load_grid(fabric_dir)
+        if header.get("sweep") != sweep_id:
+            raise FabricError(
+                f"{fabric_dir} holds a different sweep "
+                f"({header.get('sweep', '?')[:12]} != {sweep_id[:12]}); "
+                f"point --fabric-dir elsewhere or remove it"
+            )
+    else:
+        write_grid(fabric_dir, sweep_id, label, items, fn_ref, config)
+
+    scanner = ResultsScanner(fabric_dir, len(items))
+    scanner.scan()
+    report.resumed = len(scanner.done)
+
+    board = LeaseBoard(fabric_dir, "coordinator", config.lease_ttl)
+    processes: list = []
+    global _FABRIC_FN
+    try:
+        pending = len(items) - len(scanner.done)
+        can_fork = "fork" in multiprocessing.get_all_start_methods()
+        if pending and config.workers > 0 and can_fork:
+            context = multiprocessing.get_context("fork")
+            _FABRIC_FN = fn
+            try:
+                for slot in range(config.workers):
+                    process = context.Process(
+                        target=_forked_worker_main,
+                        args=(
+                            str(fabric_dir),
+                            f"w{slot}",
+                            config.poll_interval,
+                            retry,
+                        ),
+                        name=f"fabric-worker-{slot}",
+                    )
+                    process.start()
+                    processes.append(process)
+            finally:
+                _FABRIC_FN = None
+            report.workers_spawned = len(processes)
+        elif pending and config.workers > 0 and not can_fork:
+            report.degraded = True
+            report.warning = (
+                "platform has no fork start method; completed serially "
+                "in-process"
+            )
+
+        while pending:
+            scanner.scan()
+            pending = len(items) - len(scanner.done)
+            if not pending:
+                break
+            local_alive = any(p.is_alive() for p in processes)
+            external_alive = _any_external_heartbeat(fabric_dir, processes)
+            if not local_alive and not external_alive:
+                if (
+                    report.degraded
+                    or time.monotonic() - started >= config.lease_ttl
+                    or (report.workers_spawned and processes)
+                ):
+                    _complete_serially(
+                        fn, items, scanner, board, report, fabric_dir
+                    )
+                    break
+            time.sleep(config.poll_interval)
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        deadline = time.monotonic() + 10.0
+        for process in processes:
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(timeout=5.0)
+
+    scanner.scan()
+    results: list[object | None] = [scanner.cells.get(i) for i in range(len(items))]
+    report.failed = {
+        i: scanner.failed[i] for i in range(len(items)) if i in scanner.failed
+    }
+    report.computed = len(scanner.done) - report.resumed
+    report.corrupt_lines = scanner.corrupt_lines
+    report.per_worker = dict(scanner.per_worker)
+    report.claims, report.steals = board.stats()
+    report.steals -= report.reclaims  # coordinator takeovers counted apart
+    if report.steals < 0:  # pragma: no cover - defensive
+        report.steals = 0
+    report.wall_seconds = time.monotonic() - started
+
+    missing = [i for i in range(len(items)) if results[i] is None and i not in report.failed]
+    if missing:
+        raise FabricError(
+            f"fabric run lost cells {missing[:8]}{'...' if len(missing) > 8 else ''}: "
+            f"{len(scanner.done)}/{len(items)} complete"
+        )
+    _publish_fabric_telemetry(report)
+    return results, report
+
+
+def _any_external_heartbeat(fabric_dir: Path, processes: list) -> bool:
+    """A live worker we did not fork (an externally joined process)?"""
+    worker_dir = fabric_dir / _WORKER_DIR
+    if not worker_dir.is_dir():
+        return False
+    local = {f"fabric-worker-{i}" for i in range(len(processes))}
+    now = time.time()
+    for path in worker_dir.glob("*.json"):
+        payload = _read_json(path)
+        if payload is None or payload.get("left"):
+            continue
+        # Local workers are covered by is_alive(); treat a fresh
+        # heartbeat from a dead local worker as stale once its process
+        # object is gone.
+        if any(
+            p.name in local and p.is_alive() and p.pid == payload.get("pid")
+            for p in processes
+        ):
+            continue
+        if any(p.pid == payload.get("pid") for p in processes):
+            continue  # one of ours, already known dead
+        try:
+            if float(payload["deadline"]) >= now:
+                return True
+        except Exception:
+            continue
+    return False
+
+
+def _complete_serially(
+    fn: Callable,
+    items: list,
+    scanner: ResultsScanner,
+    board: LeaseBoard,
+    report: FabricReport,
+    fabric_dir: Path,
+) -> None:
+    """Degraded mode: every worker is dead, finish in-process.
+
+    Pending cells run serially in the coordinator, journaled to
+    ``results/coordinator.jsonl`` under reclaimed leases, so a later
+    rerun (or late-joining worker) still sees a consistent journal.
+    """
+    report.degraded = True
+    if report.warning is None:
+        report.warning = (
+            f"no live workers; coordinator completed "
+            f"{len(items) - len(scanner.done)} pending cells serially "
+            f"in-process"
+        )
+    worker = FabricWorker(
+        fabric_dir,
+        worker_id="coordinator",
+        fn=fn,
+        cache_dir=None,  # the coordinator's ambient cache context applies
+        poll_interval=0.05,
+    )
+    # Reuse the coordinator's scanners/boards state where it matters:
+    # the worker re-reads journals itself, so nothing is recomputed.
+    try:
+        for index in range(len(items)):
+            worker.scanner.scan()
+            if index in worker.scanner.done:
+                continue
+            claimed, victim = worker.board.try_claim(index)
+            if victim is not None:
+                report.reclaims += 1
+            if not claimed:
+                # Valid lease held by a worker that died without a
+                # heartbeat lapse yet; take it anyway -- there is no
+                # live owner, that is why we are here.
+                lease = worker.board.read(index)
+                worker.board.try_claim(index)
+                if lease is not None:
+                    report.reclaims += 1
+            worker._run_cell(index)
+    finally:
+        worker.heartbeat.stop(left=True)
+        worker.close()

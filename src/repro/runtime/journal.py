@@ -21,17 +21,65 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import os
 import pickle
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO
 
 from repro.runtime.fingerprint import code_salt, stable_fingerprint
 
-__all__ = ["JOURNAL_VERSION", "JournalStats", "SweepJournal", "sweep_fingerprint"]
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalStats",
+    "SweepJournal",
+    "sweep_fingerprint",
+    "encode_cell_entry",
+    "decode_cell_entry",
+    "CompactionStats",
+    "compact_journal",
+]
 
 #: Bump to orphan every existing journal file (format changes).
 JOURNAL_VERSION = 1
+
+
+def encode_cell_entry(index: int, value: object) -> dict | None:
+    """One completed cell as a checksummed JSONL-ready record.
+
+    Returns None when ``value`` cannot be pickled (the cell simply is
+    not resumable).  The format is shared between :class:`SweepJournal`
+    and the fabric's per-worker result journals
+    (:mod:`repro.runtime.fabric`), so either side can load the other's
+    records.
+    """
+    try:
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
+    return {
+        "kind": "cell",
+        "index": int(index),
+        "sha": hashlib.sha256(data).hexdigest(),
+        "data": base64.b64encode(data).decode("ascii"),
+    }
+
+
+def decode_cell_entry(entry: dict, n_items: int) -> tuple[int, object]:
+    """Verify and unpickle one ``kind == "cell"`` record.
+
+    Raises on any corruption (bad index, checksum mismatch, unpicklable
+    payload); callers count-and-skip, mirroring the cache's
+    corruption-is-a-miss policy.
+    """
+    index = int(entry["index"])
+    if not 0 <= index < n_items:
+        raise ValueError(f"index {index} out of range")
+    data = base64.b64decode(entry["data"], validate=True)
+    if hashlib.sha256(data).hexdigest() != entry["sha"]:
+        raise ValueError("checksum mismatch")
+    return index, pickle.loads(data)
 
 
 def sweep_fingerprint(label: str, items: list) -> str:
@@ -115,14 +163,9 @@ class SweepJournal:
             try:
                 entry = json.loads(line)
                 if entry.get("kind") != "cell":
-                    continue  # header / future record kinds
-                index = int(entry["index"])
-                if not 0 <= index < self.n_items:
-                    raise ValueError(f"index {index} out of range")
-                data = base64.b64decode(entry["data"], validate=True)
-                if hashlib.sha256(data).hexdigest() != entry["sha"]:
-                    raise ValueError("checksum mismatch")
-                results[index] = pickle.loads(data)
+                    continue  # header / event / future record kinds
+                index, value = decode_cell_entry(entry, self.n_items)
+                results[index] = value
             except Exception:
                 self.corrupt_lines += 1
         return results
@@ -147,16 +190,9 @@ class SweepJournal:
     def record(self, index: int, value: object) -> None:
         """Append one completed cell; flushed line-by-line so a crash
         loses at most the cell being written."""
-        try:
-            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:
+        entry = encode_cell_entry(index, value)
+        if entry is None:
             return  # unpicklable result: cell simply is not resumable
-        entry = {
-            "kind": "cell",
-            "index": int(index),
-            "sha": hashlib.sha256(data).hexdigest(),
-            "data": base64.b64encode(data).decode("ascii"),
-        }
         handle = self._open()
         handle.write(json.dumps(entry) + "\n")
         handle.flush()
@@ -171,3 +207,128 @@ class SweepJournal:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SweepJournal({str(self.path)!r}, n_items={self.n_items})"
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class CompactionStats:
+    """Outcome of one :func:`compact_journal` pass."""
+
+    path: Path
+    lines_before: int = 0
+    lines_after: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+    dropped_superseded: int = 0
+    dropped_events: int = 0
+    dropped_corrupt: int = 0
+
+    @property
+    def bytes_reclaimed(self) -> int:
+        return max(0, self.bytes_before - self.bytes_after)
+
+    def render(self) -> str:
+        return (
+            f"{self.path.name}: {self.lines_before} -> {self.lines_after} lines "
+            f"({self.dropped_superseded} superseded, {self.dropped_events} "
+            f"events, {self.dropped_corrupt} corrupt); "
+            f"reclaimed {self.bytes_reclaimed} bytes"
+        )
+
+
+def compact_journal(path: str | Path) -> CompactionStats:
+    """Rewrite one journal keeping only the last record per cell.
+
+    Retried cells, fabric steals and coordinator restarts all append
+    fresh records for indices that already have one, and fabric worker
+    journals additionally carry ``event`` lines (claims, steals, lease
+    reclaims) that matter only while the run is live.  Compaction keeps:
+
+    * the first ``header`` line, verbatim;
+    * the *last* ``cell`` line per index (later lines win on load, so
+      dropping earlier duplicates cannot change a resume);
+    * the last ``failed`` line per index, only for indices with no
+      ``cell`` record (a later success supersedes the failure).
+
+    Everything else -- event/lease/retry lines, unparsable or torn
+    lines -- is dropped and counted.  The rewrite is atomic (temp file
+    + ``os.replace``); an untouched journal (nothing to drop) is left
+    in place byte-for-byte.  Compacting a journal while its sweep is
+    still running can drop the in-flight line, so the CLI surfaces this
+    as a maintenance verb (``repro cache prune --compact-journals``),
+    not something a live run does to itself.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    text = raw.decode("utf-8", errors="replace")
+    lines = text.splitlines()
+    stats = CompactionStats(
+        path=path, lines_before=len(lines), bytes_before=len(raw)
+    )
+
+    header: str | None = None
+    cells: dict[int, str] = {}
+    failed: dict[int, str] = {}
+    order: list[int] = []  # first-seen index order, for a stable output
+    seen: set[int] = set()
+    for line in lines:
+        if not line.strip():
+            stats.dropped_corrupt += 1
+            continue
+        try:
+            entry = json.loads(line)
+            kind = entry.get("kind")
+            if kind == "header":
+                if header is None:
+                    header = line
+                else:
+                    stats.dropped_superseded += 1
+                continue
+            if kind in ("cell", "failed"):
+                index = int(entry["index"])
+                table = cells if kind == "cell" else failed
+                if index in table:
+                    stats.dropped_superseded += 1
+                if index not in seen:
+                    seen.add(index)
+                    order.append(index)
+                table[index] = line
+                continue
+            # event / lease / retry / unknown structured kinds.
+            stats.dropped_events += 1
+        except Exception:
+            stats.dropped_corrupt += 1
+
+    kept: list[str] = [] if header is None else [header]
+    for index in order:
+        if index in cells:
+            kept.append(cells[index])
+            if index in failed:
+                stats.dropped_superseded += 1
+        else:
+            kept.append(failed[index])
+    stats.lines_after = len(kept)
+
+    if (
+        stats.lines_after == stats.lines_before
+        and stats.dropped_corrupt == 0
+    ):
+        stats.bytes_after = stats.bytes_before
+        return stats
+
+    payload = "".join(line + "\n" for line in kept)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    stats.bytes_after = len(payload.encode("utf-8"))
+    return stats

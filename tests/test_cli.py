@@ -245,6 +245,59 @@ class TestCacheSubcommand:
         with pytest.raises(SystemExit):
             main(["cache"])
 
+    def test_prune_without_flags_rejected(self, tmp_path):
+        with pytest.raises(
+            SystemExit, match="--max-bytes and/or --compact-journals"
+        ):
+            main(["cache", "--cache-dir", str(tmp_path), "prune"])
+
+    def test_prune_negative_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="--max-bytes must be non-negative"):
+            main([
+                "cache", "--cache-dir", str(tmp_path), "prune",
+                "--max-bytes", "-1",
+            ])
+
+    def test_prune_compact_journals_drops_superseded_lines(
+        self, tmp_path, capsys
+    ):
+        from repro.runtime import SweepJournal
+
+        journal = SweepJournal(tmp_path / "journal", "sweep1", n_items=2)
+        journal.record(0, "old")
+        journal.record(0, "new")  # superseded
+        journal.record(1, "only")
+        journal.close()
+        fabric_journal = tmp_path / "fabric" / "abc123" / "results" / "w0.jsonl"
+        fabric_journal.parent.mkdir(parents=True)
+        fabric_journal.write_text(
+            '{"kind": "event", "event": "steal", "index": 0, "worker": "w0"}\n'
+        )
+
+        assert main([
+            "cache", "--cache-dir", str(tmp_path), "prune",
+            "--compact-journals",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 2 journals" in out
+        assert "dropped 2 lines" in out
+        loaded = SweepJournal(
+            tmp_path / "journal", "sweep1", n_items=2, resume=True
+        ).load()
+        assert loaded == {0: "new", 1: "only"}
+        assert fabric_journal.read_text() == ""  # only the event, now gone
+
+    def test_prune_combines_max_bytes_and_compaction(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "cache", "--cache-dir", str(tmp_path), "prune",
+            "--max-bytes", "1", "--compact-journals",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 3 oldest entries" in out
+        assert "compacted 1 journals" in out
+
 
 class TestResilienceOptions:
     def test_flags_map_to_retry_policy_and_journal(self, monkeypatch, tmp_path):
@@ -286,6 +339,86 @@ class TestChaosCommand:
             main(["chaos", "--intensities", "0,2"])
         with pytest.raises(SystemExit):
             main(["chaos", "--intensities", "nope"])
+
+
+class TestFabricCommands:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep-fabric"])
+        assert args.workers == 2
+        assert args.lease_ttl == 30.0
+        assert args.heartbeat_interval is None
+        assert args.fabric_dir is None
+
+    @pytest.mark.parametrize(
+        ("argv", "message"),
+        [
+            (["sweep-fabric", "--workers", "-1"],
+             r"--workers must be non-negative"),
+            (["sweep-fabric", "--lease-ttl", "0"],
+             r"--lease-ttl must be a positive number of seconds"),
+            (["sweep-fabric", "--lease-ttl", "-3"],
+             r"--lease-ttl must be a positive number of seconds"),
+            (["sweep-fabric", "--heartbeat-interval", "0"],
+             r"--heartbeat-interval must be a positive number of seconds"),
+            (["sweep-fabric", "--heartbeat-interval", "30", "--lease-ttl", "30"],
+             r"--heartbeat-interval .* must be below --lease-ttl"),
+        ],
+        ids=lambda value: " ".join(value) if isinstance(value, list) else None,
+    )
+    def test_invalid_fabric_options_rejected(self, argv, message):
+        with pytest.raises(SystemExit, match=message):
+            main(argv)
+
+    def test_validation_fires_before_any_fork(self, monkeypatch):
+        import repro.runtime.fabric as fabric_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("fabric ran despite invalid options")
+
+        monkeypatch.setattr(fabric_module, "run_fabric", boom)
+        with pytest.raises(SystemExit, match="--workers must be non-negative"):
+            main(["sweep-fabric", "--workers", "-5"])
+
+    def test_worker_rejects_bad_heartbeat(self, tmp_path):
+        with pytest.raises(
+            SystemExit,
+            match="--heartbeat-interval must be a positive number of seconds",
+        ):
+            main(["worker", str(tmp_path), "--heartbeat-interval", "0"])
+
+    def test_worker_rejects_missing_grid(self, tmp_path):
+        with pytest.raises(SystemExit, match="no grid"):
+            main(["worker", str(tmp_path / "nowhere")])
+
+    def test_sweep_fabric_matches_fig2_output(self, tmp_path, capsys):
+        fig2_argv = [
+            "fig2", "--packets", "40", "--seed", "1",
+            "--interarrivals", "4,20", "--no-cache",
+        ]
+        assert main(fig2_argv) == 0
+        fig2_out = capsys.readouterr().out
+
+        assert main([
+            "sweep-fabric", "--packets", "40", "--seed", "1",
+            "--interarrivals", "4,20", "--workers", "2",
+            "--lease-ttl", "10", "--no-cache",
+            "--fabric-dir", str(tmp_path / "fab"),
+        ]) == 0
+        fabric_out = capsys.readouterr().out
+        assert "fabric:" in fabric_out
+        assert "worker w" in fabric_out
+
+        def tables_only(text):
+            lines = []
+            for line in text.splitlines():
+                if line.startswith(("cache:", "journal:", "fabric")):
+                    continue
+                if line.startswith("  worker "):
+                    continue
+                lines.append(line)
+            return [line for line in lines if line.strip()]
+
+        assert tables_only(fig2_out) == tables_only(fabric_out)
 
 
 class TestServeCommand:

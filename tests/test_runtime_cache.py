@@ -176,6 +176,102 @@ class TestCacheMaintenance:
         assert cache.disk_stats().entries == 0
 
 
+class TestConcurrentWriters:
+    """Satellite (ISSUE 7): two fabric workers computing the same cell
+    must both land via atomic temp-file + rename with no torn entry."""
+
+    def test_same_key_hammer_from_multiple_processes(self, tmp_path):
+        import multiprocessing
+        import time
+
+        config = _config()
+        result = SensorNetworkSimulator(config).run()
+        expected = [r.delivered_at for r in result.records]
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(4)
+
+        def hammer():
+            cache = ResultCache(tmp_path)
+            barrier.wait()  # all writers fire at once
+            for _ in range(25):
+                cache.put(config, result, elapsed=0.1)
+
+        procs = [ctx.Process(target=hammer) for _ in range(4)]
+        for p in procs:
+            p.start()
+
+        # Concurrent reader: every get during the storm must be a clean
+        # hit (identical payload) or a miss -- never a torn entry.
+        reader = ResultCache(tmp_path)
+        deadline = time.time() + 60
+        while any(p.is_alive() for p in procs) and time.time() < deadline:
+            restored = reader.get(config)
+            if restored is not None:
+                assert [r.delivered_at for r in restored.records] == expected
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        assert reader.stats.corrupt == 0
+
+        final = reader.get(config)
+        assert final is not None
+        assert [r.delivered_at for r in final.records] == expected
+        assert len(list(reader.iter_entry_paths())) == 1  # one key, one file
+        assert not list(tmp_path.rglob("*.tmp"))  # every temp was renamed
+
+    def test_sigkilled_writer_cannot_tear_an_entry(self, tmp_path):
+        import multiprocessing
+        import os
+        import signal
+        import time
+
+        config = _config()
+        result = SensorNetworkSimulator(config).run()
+        ctx = multiprocessing.get_context("fork")
+
+        def write_forever():
+            cache = ResultCache(tmp_path)
+            while True:
+                cache.put(config, result, elapsed=0.1)
+
+        victim = ctx.Process(target=write_forever)
+        victim.start()
+        time.sleep(0.3)  # let it get mid-write with high probability
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30)
+
+        cache = ResultCache(tmp_path)
+        restored = cache.get(config)  # a hit or a miss, never a crash
+        if restored is not None:
+            assert cache.stats.corrupt == 0
+        report = cache.verify()
+        assert report.quarantined == []  # no entry file is torn
+        # Any abandoned temp file from the kill is swept once stale.
+        assert cache.sweep_stale_tmp(max_age_seconds=0.0) >= 0
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_verify_sweeps_stale_tmp_files(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        config = _config()
+        cache.put(config, SensorNetworkSimulator(config).run(), elapsed=0.1)
+        shard = next(cache.iter_entry_paths()).parent
+        stale = shard / "abandoned.tmp"
+        stale.write_bytes(b"half-written")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        fresh = shard / "inflight.tmp"
+        fresh.write_bytes(b"being written right now")
+
+        report = cache.verify()
+        assert report.stale_tmp_removed == 1
+        assert not stale.exists()
+        assert fresh.exists()  # young temps belong to live writers
+        assert report.quarantined == []
+
+
 class TestRunSimulationCaching:
     def test_warm_rerun_makes_zero_simulator_invocations(self, tmp_path):
         config = _config()

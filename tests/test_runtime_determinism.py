@@ -71,3 +71,56 @@ class TestParallelDeterminism:
         with use_runtime(jobs=4) as ctx:
             sweep(list(LOADS), _series)
         assert ctx.stats.simulations == len(LOADS)
+
+
+class TestFabricDeterminism:
+    """The distributed fabric is held to the same bar as --jobs N:
+    bit-identical to the serial executor, asserted with ``==``."""
+
+    def test_fabric_bit_identical_to_serial(self, tmp_path):
+        from repro.experiments.fig2 import fig2_cell, fig2_cells
+        from repro.runtime.fabric import FabricConfig, run_fabric
+
+        cells = fig2_cells(LOADS, n_packets=60, seed=2)
+        serial = [fig2_cell(cell) for cell in cells]
+        results, report = run_fabric(
+            fig2_cell, cells,
+            config=FabricConfig(
+                workers=2, lease_ttl=10.0, heartbeat_interval=1.0,
+                poll_interval=0.05, fabric_dir=tmp_path / "fab",
+            ),
+            label="determinism",
+        )
+        assert results == serial  # == on floats, not approx
+        assert not report.degraded
+        assert not report.failed
+
+    def test_fabric_tables_bit_identical_to_figure2(self, tmp_path):
+        from repro.experiments.fig2 import (
+            fig2_cell,
+            fig2_cells,
+            fig2_tables,
+            figure2,
+        )
+        from repro.runtime.fabric import FabricConfig, run_fabric
+
+        serial_mse, serial_latency = figure2(
+            interarrivals=LOADS, n_packets=60, seed=2
+        )
+        cells = fig2_cells(LOADS, n_packets=60, seed=2)
+        results, _ = run_fabric(
+            fig2_cell, cells,
+            config=FabricConfig(
+                workers=2, lease_ttl=10.0, heartbeat_interval=1.0,
+                poll_interval=0.05, fabric_dir=tmp_path / "fab",
+            ),
+            label="tables",
+        )
+        fabric_mse, fabric_latency = fig2_tables(cells, results)
+        for serial_table, fabric_table in (
+            (serial_mse, fabric_mse), (serial_latency, fabric_latency)
+        ):
+            for s, p in zip(serial_table.series, fabric_table.series):
+                assert s.label == p.label
+                assert s.x_values == p.x_values
+                assert s.y_values == p.y_values

@@ -8,6 +8,7 @@ from repro.analysis.sweep import sweep
 from repro.runtime import (
     RetryPolicy,
     SweepJournal,
+    compact_journal,
     sweep_fingerprint,
     use_runtime,
 )
@@ -80,6 +81,96 @@ class TestSweepJournal:
         fresh.close()
         loaded = SweepJournal(tmp_path, "trunc", n_items=2, resume=True).load()
         assert loaded == {1: "new"}
+
+
+class TestCompaction:
+    def _journal(self, tmp_path, sweep_id="compact", n_items=4):
+        return SweepJournal(tmp_path, sweep_id, n_items=n_items)
+
+    def test_superseded_records_are_dropped_load_unchanged(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.record(0, "first")
+        journal.record(1, "only")
+        journal.record(0, "second")  # a retry re-recorded cell 0
+        journal.record(0, "third")
+        journal.close()
+
+        before = SweepJournal(tmp_path, "compact", n_items=4, resume=True).load()
+        stats = compact_journal(journal.path)
+        after = SweepJournal(tmp_path, "compact", n_items=4, resume=True).load()
+
+        assert after == before == {0: "third", 1: "only"}
+        assert stats.dropped_superseded == 2
+        assert stats.lines_after == 3  # header + 2 cells
+        assert stats.bytes_reclaimed > 0
+
+    def test_event_and_corrupt_lines_are_dropped(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.record(0, "keep")
+        journal.close()
+        with journal.path.open("a") as handle:
+            handle.write(
+                '{"kind": "event", "event": "steal", "index": 0, '
+                '"worker": "w1"}\n'
+            )
+            handle.write("totally not json\n")
+            handle.write('{"kind": "cell", "index": 1, "sha": "tr')  # torn
+
+        stats = compact_journal(journal.path)
+        assert stats.dropped_events == 1
+        assert stats.dropped_corrupt == 2
+        reloaded = SweepJournal(tmp_path, "compact", n_items=4, resume=True)
+        assert reloaded.load() == {0: "keep"}
+        assert reloaded.corrupt_lines == 0  # compaction healed the file
+
+    def test_failed_record_kept_unless_superseded(self, tmp_path):
+        import json as json_module
+
+        journal = self._journal(tmp_path)
+        journal.record(0, "ok")
+        journal.close()
+        with journal.path.open("a") as handle:
+            handle.write(json_module.dumps(
+                {"kind": "failed", "index": 1, "error": "boom"}
+            ) + "\n")
+            handle.write(json_module.dumps(
+                {"kind": "failed", "index": 0, "error": "stale failure"}
+            ) + "\n")
+
+        compact_journal(journal.path)
+        lines = [
+            json_module.loads(line)
+            for line in journal.path.read_text().splitlines()
+        ]
+        kinds = [(entry["kind"], entry.get("index")) for entry in lines]
+        # Cell 0 succeeded, so its failure line is dropped; cell 1 has
+        # only a failure, which is preserved.
+        assert ("failed", 1) in kinds
+        assert ("failed", 0) not in kinds
+        assert ("cell", 0) in kinds
+
+    def test_clean_journal_left_untouched(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.record(0, "a")
+        journal.record(1, "b")
+        journal.close()
+        raw = journal.path.read_bytes()
+        mtime = journal.path.stat().st_mtime_ns
+
+        stats = compact_journal(journal.path)
+        assert stats.bytes_reclaimed == 0
+        assert journal.path.read_bytes() == raw
+        assert journal.path.stat().st_mtime_ns == mtime  # no rewrite at all
+
+    def test_header_survives_compaction(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.record(0, "x")
+        journal.record(0, "y")
+        journal.close()
+        compact_journal(journal.path)
+        first = json.loads(journal.path.read_text().splitlines()[0])
+        assert first["kind"] == "header"
+        assert first["sweep"] == "compact"
 
 
 class TestSweepResume:
