@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Measure DES throughput before/after the hot-path overhaul.
+
+Sweeps the benchmark workload matrix (paper 4-flow Figure 2 cell,
+~10^2-node grid, ~10^3-node grid), timing each under the event-driven
+engine (``REPRO_FASTPATH=0``) and the vectorized fast path, and writes
+``benchmarks/results/BENCH_des_throughput.json``.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_des_throughput.py [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.throughput import benchmark_workloads, compare  # noqa: E402
+
+OUT = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing repeats (default 3)")
+    parser.add_argument("--smoke-scale", type=float, default=0.3,
+                        help="packet-count scale for the CI smoke entry")
+    args = parser.parse_args()
+
+    report: dict = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": {},
+    }
+    for name, config in benchmark_workloads().items():
+        print(f"[{name}] timing ...", flush=True)
+        entry = compare(config, repeats=args.repeats)
+        report["workloads"][name] = entry
+        before, after = entry["before"], entry["after"]
+        print(
+            f"[{name}] nodes={entry['nodes']} events={before['events']}: "
+            f"{before['packets_per_sec']:.0f} -> {after['packets_per_sec']:.0f} "
+            f"packets/sec ({entry['speedup']:.1f}x)",
+            flush=True,
+        )
+
+    # A reduced-size entry measured with the same harness the CI smoke
+    # reruns, so its regression comparison is like-for-like.
+    smoke_config = benchmark_workloads(scale=args.smoke_scale)["paper-fig2-rcad-ia2"]
+    report["smoke"] = {
+        "scale": args.smoke_scale,
+        **compare(smoke_config, repeats=args.repeats),
+    }
+    print(f"[smoke] speedup {report['smoke']['speedup']:.1f}x", flush=True)
+
+    OUT.mkdir(parents=True, exist_ok=True)
+    out_path = OUT / "BENCH_des_throughput.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    fig2_speedup = report["workloads"]["paper-fig2-rcad-ia2"]["speedup"]
+    if fig2_speedup < 10.0:
+        print(f"WARNING: fig2 speedup {fig2_speedup:.1f}x is below the 10x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

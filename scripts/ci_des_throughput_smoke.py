@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""CI throughput regression gate for the DES fast path.
+
+Re-measures the reduced "smoke" workload (paper Figure 2 RCAD cell at
+a fraction of the committed packet count) under both engines and
+compares the fast-path **speedup ratio** against the value committed in
+``benchmarks/results/BENCH_des_throughput.json``.
+
+The ratio -- not absolute packets/sec -- is what transfers across CI
+machines of different raw speed: both engines run on the same host in
+the same process, so their quotient cancels the machine out.  The gate
+fails when the measured speedup falls below 20% of the committed one
+(or below an absolute floor of 3x, whichever is stricter to pass),
+which catches someone accidentally re-serializing the hot path while
+tolerating ordinary CI noise.
+
+Exit codes: 0 pass, 1 regression, 2 harness/benchmark-file problem.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.throughput import benchmark_workloads, compare  # noqa: E402
+
+BENCH_PATH = (
+    Path(__file__).resolve().parents[1]
+    / "benchmarks" / "results" / "BENCH_des_throughput.json"
+)
+TOLERANCE = 0.20  # fail below (1 - TOLERANCE) * committed speedup
+ABSOLUTE_FLOOR = 3.0  # never accept less than this, tolerance aside
+
+
+def main() -> int:
+    if not BENCH_PATH.exists():
+        print(f"FAIL: missing committed benchmark {BENCH_PATH}")
+        return 2
+    committed = json.loads(BENCH_PATH.read_text())
+    smoke = committed.get("smoke")
+    if not smoke:
+        print("FAIL: committed benchmark has no 'smoke' entry; re-run "
+              "scripts/bench_des_throughput.py")
+        return 2
+
+    config = benchmark_workloads(scale=float(smoke["scale"]))["paper-fig2-rcad-ia2"]
+    entry = compare(config, repeats=3)
+    measured = entry["speedup"]
+    floor = max(ABSOLUTE_FLOOR, (1.0 - TOLERANCE) * float(smoke["speedup"]))
+    print(
+        f"fast path speedup: measured {measured:.1f}x, committed "
+        f"{smoke['speedup']:.1f}x, floor {floor:.1f}x "
+        f"(event {entry['before']['packets_per_sec']:.0f} pkt/s, "
+        f"fast {entry['after']['packets_per_sec']:.0f} pkt/s)"
+    )
+    if measured < floor:
+        print("FAIL: DES fast-path throughput regressed")
+        return 1
+    print("PASS: DES throughput gate")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

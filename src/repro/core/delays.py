@@ -38,9 +38,27 @@ __all__ = [
 class DelayDistribution(abc.ABC):
     """A non-negative random delay with known mean and entropy."""
 
+    #: True when the law has a density (no atoms).  The vectorized
+    #: simulator fast path requires it: with a continuous delay at
+    #: every hop, cross-packet event-time ties are measure-zero, so a
+    #: time-sorted batch replay reproduces the event-driven execution
+    #: order exactly.  Point masses (:class:`ConstantDelay`) override
+    #: this to False and keep the event-driven path.
+    continuous = True
+
     @abc.abstractmethod
     def sample(self, rng: np.random.Generator) -> float:
         """Draw one delay."""
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` delays, bit-identical to ``n`` :meth:`sample` calls.
+
+        Subclasses override with one vectorized generator call; numpy's
+        per-distribution generators produce the same stream whether
+        drawn singly or with ``size=n``, which the fast-path
+        determinism tests pin down.
+        """
+        return np.array([self.sample(rng) for _ in range(n)], dtype=np.float64)
 
     @property
     @abc.abstractmethod
@@ -93,6 +111,9 @@ class ExponentialDelay(DelayDistribution):
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(1.0 / self.rate))
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(1.0 / self.rate, size=n)
+
     @property
     def mean(self) -> float:
         return 1.0 / self.rate
@@ -131,6 +152,9 @@ class UniformDelay(DelayDistribution):
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.uniform(self.low, self.high))
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
     @property
     def mean(self) -> float:
         return 0.5 * (self.low + self.high)
@@ -154,6 +178,8 @@ class ConstantDelay(DelayDistribution):
     The degenerate comparator: h(Y) = -infinity, so a deployment-aware
     adversary subtracts it perfectly and privacy gains nothing.
     """
+
+    continuous = False  # a point mass makes event-time ties routine
 
     def __init__(self, value: float) -> None:
         if value < 0:
@@ -206,6 +232,9 @@ class ErlangDelay(DelayDistribution):
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.gamma(self.shape, 1.0 / self.rate))
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.gamma(self.shape, 1.0 / self.rate, size=n)
+
     @property
     def mean(self) -> float:
         return self.shape / self.rate
@@ -256,6 +285,9 @@ class ParetoDelay(DelayDistribution):
     def sample(self, rng: np.random.Generator) -> float:
         # numpy's pareto draws (X/x_m - 1); rescale and shift back.
         return float(self.scale * (1.0 + rng.pareto(self.shape)))
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.scale * (1.0 + rng.pareto(self.shape, size=n))
 
     @property
     def mean(self) -> float:

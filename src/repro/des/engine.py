@@ -1,14 +1,31 @@
 """The event scheduler at the heart of the simulation engine.
 
-The design is a classic event-list simulator:
+The design is a *calendar of per-lane event heaps* behind the classic
+event-list interface:
 
-* a binary heap orders pending events by ``(time, sequence)`` where the
-  monotonically increasing sequence number gives *stable FIFO order for
-  simultaneous events* -- essential so that, e.g., a packet arrival and
-  a buffer-timer expiry at the same instant resolve deterministically;
-* cancellation is *lazy*: a cancelled event stays in the heap but is
-  skipped when popped.  RCAD preempts buffered packets constantly, so
-  cancellation must be O(1);
+* every event belongs to a **lane** (callers pass any hashable key --
+  the sensor-network simulator uses the node id; ``None`` is the shared
+  default lane).  Each lane keeps its own binary heap ordered by
+  ``(time, sequence)``, where the monotonically increasing **global**
+  sequence number gives *stable FIFO order for simultaneous events*
+  across all lanes -- essential so that, e.g., a packet arrival and a
+  buffer-timer expiry at the same instant resolve deterministically,
+  and so that lane assignment can never change execution order;
+* a small top-level heap holds one ``(time, sequence, lane)`` entry per
+  lane head.  An entry is *valid* iff it still equals its lane's
+  current head; anything else is skipped as stale.  Pushing a
+  duplicate entry for an unchanged head is therefore harmless, which
+  keeps every operation O(log n) without back-pointers;
+* cancellation is **O(1) and lazy**: a cancelled event stays in its
+  lane's heap but is discarded (and counted in :attr:`Simulator.\
+events_skipped`) when it surfaces.  RCAD preempts buffered packets
+  constantly, so cancellation must never touch the heap;
+* lanes whose tombstone count crosses a threshold are **compacted**:
+  the lane heap is rebuilt without its cancelled entries (each counted
+  as skipped, preserving the invariant that at drain time
+  ``events_skipped`` equals the total number of cancellations).  This
+  bounds memory under sustained preemption churn, where the old
+  single-heap design grew without bound until pop time;
 * the clock is a float in abstract "time units" matching the paper
   (per-hop transmission delay tau = 1 time unit).
 """
@@ -16,13 +33,26 @@ The design is a classic event-list simulator:
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from typing import Any, Callable
 
 from repro.des.errors import SchedulingInPastError
 
 __all__ = ["Simulator", "EventHandle"]
+
+
+class _Lane:
+    """One per-key event calendar: a heap plus its tombstone count."""
+
+    __slots__ = ("key", "heap", "dead")
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+        self.heap: list[tuple[float, int, "EventHandle"]] = []
+        self.dead = 0  # cancelled entries still sitting in ``heap``
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Lane({self.key!r}, size={len(self.heap)}, dead={self.dead})"
 
 
 class EventHandle:
@@ -34,7 +64,7 @@ class EventHandle:
     with the shortest remaining delay.
     """
 
-    __slots__ = ("when", "callback", "args", "_cancelled", "_fired", "seq")
+    __slots__ = ("when", "callback", "args", "_cancelled", "_fired", "seq", "_owner", "_lane")
 
     def __init__(
         self,
@@ -49,6 +79,8 @@ class EventHandle:
         self.seq = seq
         self._cancelled = False
         self._fired = False
+        self._owner: "Simulator | None" = None
+        self._lane: _Lane | None = None
 
     @property
     def cancelled(self) -> bool:
@@ -67,10 +99,13 @@ class EventHandle:
 
     def cancel(self) -> bool:
         """Cancel the event.  Returns True if it was still pending."""
-        if self.pending:
-            self._cancelled = True
-            return True
-        return False
+        if self._cancelled or self._fired:
+            return False
+        self._cancelled = True
+        owner = self._owner
+        if owner is not None:
+            owner._note_cancel(self)
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
@@ -94,10 +129,18 @@ class Simulator:
     2.0
     """
 
+    #: A lane is compacted when at least this many tombstones have
+    #: accumulated *and* they outnumber the live entries (see
+    #: :meth:`_compact`).  64 keeps tiny lanes from churning rebuilds
+    #: while bounding any lane's garbage to ``max(64, live entries)``.
+    COMPACT_MIN_DEAD = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: list[tuple[float, int, EventHandle]] = []
-        self._seq = itertools.count()
+        self._lanes: dict[Any, _Lane] = {}
+        self._top: list[tuple[float, int, _Lane]] = []
+        self._next_seq = 0
+        self._live = 0
         self._events_processed = 0
         self._events_scheduled = 0
         self._events_skipped = 0
@@ -119,16 +162,17 @@ class Simulator:
 
     @property
     def events_scheduled(self) -> int:
-        """Number of events ever pushed onto the heap."""
+        """Number of events ever scheduled."""
         return self._events_scheduled
 
     @property
     def events_skipped(self) -> int:
-        """Cancelled events lazily discarded when popped.
+        """Cancelled events discarded (lazily at pop, or by compaction).
 
         ``events_skipped / events_scheduled`` is the cancellation ratio;
         under RCAD it measures how often preemption outran the release
-        timers -- a direct view of the effective-mu adaptation.
+        timers -- a direct view of the effective-mu adaptation.  Once
+        the event list drains, every cancellation has been counted.
         """
         return self._events_skipped
 
@@ -146,54 +190,141 @@ class Simulator:
     def pending_count(self) -> int:
         """Number of events that are scheduled and not cancelled.
 
-        O(n): intended for tests and debugging, not hot paths.
+        O(1): maintained on every schedule / cancel / fire.
         """
-        return sum(1 for _, _, handle in self._heap if handle.pending)
+        return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Total entries across all lane heaps, *including* tombstones.
+
+        ``heap_size - pending_count`` is the garbage currently awaiting
+        lazy discard; compaction keeps it bounded (tests rely on this).
+        """
+        return sum(len(lane.heap) for lane in self._lanes.values())
 
     def peek(self) -> float:
-        """Time of the next pending event, or ``math.inf`` if none."""
-        while self._heap:
-            when, _, handle = self._heap[0]
-            if handle.pending:
+        """Time of the next pending event, or ``math.inf`` if none.
+
+        Cancelled events surfacing at lane heads are discarded (and
+        counted as skipped) on the way.
+        """
+        top = self._top
+        while top:
+            when, seq, lane = top[0]
+            lheap = lane.heap
+            if not lheap or lheap[0][0] != when or lheap[0][1] != seq:
+                heapq.heappop(top)  # stale: the lane head moved on
+                continue
+            if lheap[0][2].pending:
                 return when
-            heapq.heappop(self._heap)
+            heapq.heappop(lheap)  # cancelled lane head
+            lane.dead -= 1
             self._events_skipped += 1
+            heapq.heappop(top)
+            if lheap:
+                head = lheap[0]
+                heapq.heappush(top, (head[0], head[1], lane))
         return math.inf
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def schedule(
-        self, when: float, callback: Callable[..., None], *args: Any
+        self,
+        when: float,
+        callback: Callable[..., None],
+        *args: Any,
+        lane: Any = None,
     ) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute time ``when``.
 
+        ``lane`` (keyword-only, any hashable) names the event calendar
+        to file the event under; it is purely a performance hint --
+        events fire in global ``(when, seq)`` order regardless of lane
+        assignment.  The simulator lanes by node id so that RCAD's
+        cancellation tombstones stay local and compactable.
+
         Raises
         ------
+        ValueError
+            If ``when`` is NaN (checked first: NaN would slip past the
+            in-the-past comparison below, surfacing much later as a
+            confusing heap-order corruption).
         SchedulingInPastError
             If ``when`` is before the current simulation time.  Events
             at exactly :attr:`now` are allowed and run in FIFO order
             after the currently executing event returns.
         """
         when = float(when)
+        if math.isnan(when):
+            raise ValueError("cannot schedule an event at time NaN")
         if when < self._now:
             raise SchedulingInPastError(
                 f"cannot schedule at t={when:g}; clock is already at t={self._now:g}"
             )
-        if math.isnan(when):
-            raise ValueError("cannot schedule an event at time NaN")
-        handle = EventHandle(when, callback, args, next(self._seq))
-        heapq.heappush(self._heap, (when, handle.seq, handle))
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        handle = EventHandle(when, callback, args, seq)
+        handle._owner = self
+        lane_obj = self._lanes.get(lane)
+        if lane_obj is None:
+            lane_obj = self._lanes[lane] = _Lane(lane)
+        handle._lane = lane_obj
+        lheap = lane_obj.heap
+        heapq.heappush(lheap, (when, seq, handle))
+        if lheap[0][1] == seq:
+            # The new event became its lane's head: surface it topside.
+            # (Any previous top entry for this lane just went stale.)
+            heapq.heappush(self._top, (when, seq, lane_obj))
         self._events_scheduled += 1
+        self._live += 1
         return handle
 
     def schedule_after(
-        self, delay: float, callback: Callable[..., None], *args: Any
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        lane: Any = None,
     ) -> EventHandle:
         """Schedule ``callback(*args)`` ``delay`` time units from now."""
         if delay < 0:
             raise SchedulingInPastError(f"negative delay {delay:g}")
-        return self.schedule(self._now + delay, callback, *args)
+        return self.schedule(self._now + delay, callback, *args, lane=lane)
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self, handle: EventHandle) -> None:
+        """O(1) cancel accounting; compacts the lane past the threshold."""
+        self._live -= 1
+        lane = handle._lane
+        if lane is None:  # pragma: no cover - handles are always laned
+            return
+        lane.dead += 1
+        if lane.dead >= self.COMPACT_MIN_DEAD and lane.dead * 2 > len(lane.heap):
+            self._compact(lane)
+
+    def _compact(self, lane: _Lane) -> None:
+        """Rebuild one lane's heap without its cancelled entries.
+
+        Every dropped tombstone counts as skipped -- exactly what lazy
+        discard would eventually have reported -- so the
+        scheduled/processed/skipped ledger is identical whether an
+        event dies here or at pop time.
+        """
+        live = [item for item in lane.heap if item[2].pending]
+        self._events_skipped += len(lane.heap) - len(live)
+        heapq.heapify(live)
+        lane.heap = live
+        lane.dead = 0
+        if live:
+            head = live[0]
+            # Re-surface the head: if compaction removed the old head,
+            # its top entry is now stale; if not, this is a harmless
+            # duplicate of a still-valid entry.
+            heapq.heappush(self._top, (head[0], head[1], lane))
 
     # ------------------------------------------------------------------
     # execution
@@ -203,11 +334,21 @@ class Simulator:
 
         Returns True if an event ran, False if the event list is empty.
         """
-        while self._heap:
-            when, _, handle = heapq.heappop(self._heap)
-            if not handle.pending:
+        top = self._top
+        while top:
+            when, seq, lane = heapq.heappop(top)
+            lheap = lane.heap
+            if not lheap or lheap[0][0] != when or lheap[0][1] != seq:
+                continue  # stale: the lane head changed since this was pushed
+            handle = heapq.heappop(lheap)[2]
+            if lheap:
+                head = lheap[0]
+                heapq.heappush(top, (head[0], head[1], lane))
+            if handle._cancelled:
+                lane.dead -= 1
                 self._events_skipped += 1
                 continue
+            self._live -= 1
             self._now = when
             self._last_event_time = when
             handle._fired = True

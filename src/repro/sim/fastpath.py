@@ -1,0 +1,578 @@
+"""Vectorized structure-of-arrays replay of the event-driven simulator.
+
+The paper's fault-free model has a crucial structural property: the
+routing tree has **no feedback**.  A node's arrival stream depends only
+on its children's departure streams, so instead of interleaving every
+node's events through one global scheduler, nodes can be processed one
+at a time in topological order (children before parents), each as a
+single batch:
+
+* packet state lives in numpy arrays keyed by a global packet index
+  (creation times, flow/packet ids, routing sequence, preemption
+  counts) instead of per-packet heap objects;
+* per-node artificial delays are drawn in one vectorized generator
+  call -- numpy streams produce bit-identical values whether drawn
+  singly or batched, and the seed engine consumes the per-node
+  ``delay/node-X`` stream exactly in arrival order, which is the order
+  the batch replays;
+* infinite buffers reduce to pure array arithmetic (departures =
+  arrivals + delays; occupancy via a cumulative sum over the merged
+  admission/release event sequence);
+* bounded buffers (drop-tail, RCAD) run a tight per-node loop over a
+  small ``(release_time, entry_id)`` heap.  For RCAD with the paper's
+  shortest-remaining-delay policy the heap head *is* the victim, so
+  preemption is O(log k) with no scan;
+* telemetry is recorded into per-node lists and bulk-flushed into the
+  run's series after the sweep, instead of per-event closure calls.
+
+**Observable bit-identity.**  The replay reproduces the event-driven
+engine's output exactly -- same floats, same orderings, same event
+ledger -- relying on two facts.  First, float arithmetic is replayed
+operation-for-operation (``created + tau`` per hop, ``now + delay``,
+the occupancy integral accumulated in per-node event order via a
+cumulative sum, histogram sums in delivery order).  Second, event
+*ordering*: ties between distinct packets' events are measure-zero
+when every hop adds a delay from a continuous distribution, and the
+remaining systematic ties are resolved exactly as the engine's
+``(time, seq)`` order would: creation events are scheduled at setup so
+they carry the globally smallest sequence numbers (a creation fires
+before any same-instant arrival, and creations among themselves fire
+in flow-major setup order), and in the no-delay case two deliveries
+coincide only when their creations differ by a whole number of hop
+delays, in which case the later-created packet's chain holds the
+smaller sequence number at every shared instant and lands first.
+
+:func:`fastpath_eligible` gates the replay to configurations whose
+every feature the batch model covers; anything else (faults, ARQ,
+lossy links, phantom routing, sealed payloads, trace recording,
+non-continuous delays, stochastic victim policies) takes the
+event-driven engine.  Setting ``REPRO_FASTPATH=0`` in the environment
+forces the event-driven engine everywhere -- the A/B lever the
+equivalence tests and benchmarks use.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.metrics import PacketRecord
+from repro.core.victim import ShortestRemainingDelay
+from repro.net.packet import PacketObservation
+from repro.sim.results import DroppedPacket, NodeStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.config import SimulationConfig
+    from repro.sim.results import SimulationResult
+    from repro.sim.simulator import SensorNetworkSimulator
+
+__all__ = ["fastpath_eligible", "fastpath_enabled", "run_fastpath"]
+
+
+def fastpath_enabled() -> bool:
+    """False when ``REPRO_FASTPATH`` is set to ``0``/``off``/``false``."""
+    return os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def fastpath_eligible(config: "SimulationConfig") -> bool:
+    """True if the batch replay covers every feature this run uses."""
+    if config.faults is not None and not config.faults.is_noop:
+        return False
+    if config.routing_policy is not None:
+        return False
+    if config.link_loss_probability > 0:
+        return False
+    if config.seal_payloads or config.record_transmissions or config.record_packet_traces:
+        return False
+    if config.transmission_delay <= 0:
+        return False  # zero-tau chains make same-instant ties routine
+    if config.buffers.kind == "rcad" and config.buffers.victim_policy is not None:
+        if not isinstance(config.buffers.victim_policy, ShortestRemainingDelay):
+            return False
+    plan = config.delay_plan
+    if plan is not None:
+        buffering = set()
+        for flow in config.flows:
+            buffering.update(config.tree.path(flow.source)[:-1])
+        for node in buffering:
+            try:
+                dist = plan.distribution_for(node)
+            except KeyError:
+                return False
+            if not getattr(dist, "continuous", False):
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+def run_fastpath(sim: "SensorNetworkSimulator") -> "SimulationResult":
+    """Run ``sim``'s configuration as a batch replay; fills ``sim._result``."""
+    config = sim.config
+    tree = config.tree
+    tau = config.transmission_delay
+
+    # --- creations: flow-major packet arrays ---------------------------
+    flow_times = []
+    for flow in config.flows:
+        stream = sim._rng.stream(f"traffic/flow-{flow.flow_id}")
+        flow_times.append(
+            np.asarray(
+                flow.traffic.creation_times(flow.n_packets, stream), dtype=np.float64
+            )
+        )
+    counts = [len(t) for t in flow_times]
+    total = int(sum(counts))
+    created = np.concatenate(flow_times)
+    flow_of = np.repeat(np.arange(len(config.flows)), counts)
+    packet_id = np.concatenate([np.arange(n) for n in counts])
+
+    # routing_seq is assigned as creation events fire: time order, with
+    # same-instant creations in flow-major setup (= sequence) order.
+    creation_order = np.argsort(created, kind="stable")
+    routing_seq = np.empty(total, dtype=np.int64)
+    routing_seq[creation_order] = np.arange(total)
+    sim._next_routing_seq = total
+    sim._counters.created = total
+
+    paths = {flow.source: tree.path(flow.source) for flow in config.flows}
+    hops_of_flow = np.array(
+        [len(paths[flow.source]) - 1 for flow in config.flows], dtype=np.int64
+    )
+    prevhop_of_flow = np.array(
+        [paths[flow.source][-2] for flow in config.flows], dtype=np.int64
+    )
+
+    if config.delay_plan is None:
+        _run_nodelay(
+            sim, created, flow_of, packet_id, routing_seq,
+            hops_of_flow, prevhop_of_flow, tau,
+        )
+    else:
+        _run_delayed(
+            sim, created, flow_of, packet_id, routing_seq,
+            hops_of_flow, prevhop_of_flow, tau,
+        )
+    # Resolve the auditor through the simulator module so test
+    # instrumentation (and any future swap) applies to both paths.
+    from repro.sim import simulator as _simulator
+
+    _simulator.InvariantAuditor(sim._counters).audit(sim._result)
+    return sim._result
+
+
+def _check_horizon(sim: "SensorNetworkSimulator", end: float) -> None:
+    if end > sim.config.max_sim_time:
+        raise RuntimeError(
+            f"simulation exceeded max_sim_time={sim.config.max_sim_time:g}; "
+            "events still pending"
+        )
+
+
+def _deliver_all(
+    sim: "SensorNetworkSimulator",
+    times: np.ndarray,
+    pkts: np.ndarray,
+    created: np.ndarray,
+    flow_of: np.ndarray,
+    packet_id: np.ndarray,
+    routing_seq: np.ndarray,
+    hops_of_flow: np.ndarray,
+    prevhop_of_flow: np.ndarray,
+    preemptions: np.ndarray | None,
+) -> None:
+    """Append observations/records (and latency telemetry) in sink order."""
+    result = sim._result
+    observations = result.observations
+    records = result.records
+    flow_ids = [flow.flow_id for flow in sim.config.flows]
+    telemetry = sim.telemetry
+    if telemetry is not None and len(times):
+        telemetry.registry.counter("sim/delivered").inc(len(times))
+        # Histograms come into existence at a flow's first delivery, so
+        # a flow that never delivers must not appear in the snapshot.
+        histograms: list = [None] * len(flow_ids)
+    else:
+        histograms = None
+    time_list = times.tolist()
+    pkt_list = pkts.tolist()
+    for now, p in zip(time_list, pkt_list):
+        f = flow_of[p]
+        if histograms is not None:
+            hist = histograms[f]
+            if hist is None:
+                hist = histograms[f] = telemetry.registry.histogram(
+                    f"latency/flow-{flow_ids[f]}"
+                )
+            hist.observe(now - created[p])
+        observations.append(
+            PacketObservation(
+                arrival_time=now,
+                previous_hop=int(prevhop_of_flow[f]),
+                origin=int(sim.config.flows[f].source),
+                routing_seq=int(routing_seq[p]),
+                hop_count=int(hops_of_flow[f]),
+            )
+        )
+        records.append(
+            PacketRecord(
+                flow_id=flow_ids[f],
+                packet_id=int(packet_id[p]),
+                created_at=float(created[p]),
+                delivered_at=now,
+                hop_count=int(hops_of_flow[f]),
+                preemptions_experienced=(
+                    int(preemptions[p]) if preemptions is not None else 0
+                ),
+            )
+        )
+    sim._counters.delivered = len(time_list)
+
+
+def _finalize_fast(
+    sim: "SensorNetworkSimulator",
+    end: float,
+    processed: int,
+    scheduled: int,
+    skipped: int,
+) -> None:
+    result = sim._result
+    result.end_time = end
+    result.events_processed = processed
+    telemetry = sim.telemetry
+    if telemetry is not None:
+        registry = telemetry.registry
+        registry.counter("des/events-processed").inc(processed)
+        registry.counter("des/events-scheduled").inc(scheduled)
+        registry.counter("des/events-skipped").inc(skipped)
+        registry.counter("sim/lost-in-transit").inc(0)
+        registry.gauge("sim/end-time").set(end)
+        result.telemetry = telemetry
+
+
+# ----------------------------------------------------------------------
+def _run_nodelay(
+    sim, created, flow_of, packet_id, routing_seq,
+    hops_of_flow, prevhop_of_flow, tau,
+) -> None:
+    """Case 1: no artificial delay -- a packet's delivery time is its
+    creation time plus one tau per hop, accumulated hop-by-hop so the
+    float sums match the engine's successive ``now + tau`` adds."""
+    delivered = created.copy()
+    for f in range(len(hops_of_flow)):
+        mask = flow_of == f
+        seg = delivered[mask]
+        for _ in range(int(hops_of_flow[f])):
+            seg = seg + tau
+        delivered[mask] = seg
+    end = float(delivered.max())
+    _check_horizon(sim, end)
+    # Tied deliveries happen only between chains whose creations differ
+    # by a multiple of tau; the later-created chain carries the smaller
+    # seq from its creation onward and lands first (see module docs).
+    order = np.lexsort((np.arange(len(delivered)), -created, delivered))
+    _deliver_all(
+        sim,
+        delivered[order], order,
+        created, flow_of, packet_id, routing_seq,
+        hops_of_flow, prevhop_of_flow, None,
+    )
+    hop_events = int(np.sum(hops_of_flow[flow_of]))
+    total = len(created)
+    _finalize_fast(
+        sim, end,
+        processed=total + hop_events,
+        scheduled=total + hop_events,
+        skipped=0,
+    )
+
+
+# ----------------------------------------------------------------------
+def _run_delayed(
+    sim, created, flow_of, packet_id, routing_seq,
+    hops_of_flow, prevhop_of_flow, tau,
+) -> None:
+    config = sim.config
+    tree = config.tree
+    sink = config.deployment.sink
+    plan = config.delay_plan
+    spec = config.buffers
+    telemetry = sim.telemetry
+    rcad = spec.kind == "rcad"
+    capacity = spec.capacity if spec.kind in ("drop-tail", "rcad") else None
+
+    # Topological order: deeper nodes (more hops to the sink) first.
+    buffering: set[int] = set()
+    for flow in config.flows:
+        buffering.update(tree.path(flow.source)[:-1])
+    node_order = sorted(buffering, key=lambda n: (-tree.hop_count(n), n))
+
+    # Per-node pending input segments: (times, packet indices), each
+    # segment internally time-sorted.  Creations are seeded first so a
+    # stable sort keeps them ahead of same-instant arrivals (creation
+    # events carry the smallest seqs).
+    inbox: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+    for f, flow in enumerate(config.flows):
+        mask = flow_of == f
+        inbox.setdefault(flow.source, []).append(
+            (created[mask], np.nonzero(mask)[0])
+        )
+
+    preemptions = np.zeros(len(created), dtype=np.int64)
+    total_admitted = 0
+    total_released = 0
+    total_preempted = 0
+    drops: list[tuple[float, int, int]] = []  # (time, packet, node)
+    drop_times: list[list[float]] = []
+    preempt_times: list[list[float]] = []
+    end = float(created.max()) if len(created) else 0.0
+    any_node = False
+
+    for node in node_order:
+        segments = inbox.pop(node, None)
+        if not segments:
+            continue
+        if len(segments) == 1:
+            in_t, in_p = segments[0]
+        else:
+            in_t = np.concatenate([s[0] for s in segments])
+            in_p = np.concatenate([s[1] for s in segments])
+            order = np.argsort(in_t, kind="stable")
+            in_t = in_t[order]
+            in_p = in_p[order]
+        if not len(in_t):
+            continue
+        any_node = True
+        end = max(end, float(in_t[-1]))
+        delays = plan.distribution_for(node).sample_batch(
+            sim._rng.stream(f"delay/node-{node}"), len(in_t)
+        )
+        if capacity is None:
+            stats, dep_t, dep_p, occ_series = _infinite_node(
+                node, in_t, in_p, delays, telemetry is not None
+            )
+        else:
+            stats, dep_t, dep_p, occ_series, node_drops, d_times, p_times = (
+                _bounded_node(
+                    node, in_t, in_p, delays, capacity, rcad, preemptions,
+                    telemetry is not None,
+                )
+            )
+            drops.extend(node_drops)
+            if d_times:
+                drop_times.append(d_times)
+            if p_times:
+                preempt_times.append(p_times)
+        total_admitted += stats.admitted
+        total_preempted += stats.preemptions
+        total_released += stats.admitted - stats.preemptions
+        sim._result.node_stats[node] = stats
+        if telemetry is not None:
+            telemetry.series.series(f"occupancy/node-{node}").extend(*occ_series)
+        if len(dep_t):
+            inbox.setdefault(tree.next_hop(node), []).append((dep_t + tau, dep_p))
+
+    # --- deliver at the sink ------------------------------------------
+    segments = inbox.pop(sink, [])
+    if segments:
+        sink_t = np.concatenate([s[0] for s in segments])
+        sink_p = np.concatenate([s[1] for s in segments])
+        order = np.argsort(sink_t, kind="stable")
+        sink_t = sink_t[order]
+        sink_p = sink_p[order]
+        end = max(end, float(sink_t[-1]))
+    else:
+        sink_t = np.empty(0, dtype=np.float64)
+        sink_p = np.empty(0, dtype=np.int64)
+    _check_horizon(sim, end)
+
+    # --- drop records in global event order ---------------------------
+    if drops:
+        drops.sort(key=lambda d: d[0])
+        for when, p, node in drops:
+            sim._result.dropped.append(
+                DroppedPacket(
+                    flow_id=config.flows[flow_of[p]].flow_id,
+                    packet_id=int(packet_id[p]),
+                    created_at=float(created[p]),
+                    dropped_at=when,
+                    dropped_by=node,
+                )
+            )
+        sim._counters.buffer_dropped = len(drops)
+
+    _deliver_all(
+        sim, sink_t, sink_p,
+        created, flow_of, packet_id, routing_seq,
+        hops_of_flow, prevhop_of_flow, preemptions,
+    )
+
+    # Per-node stats: the engine stamps observation_time and the final
+    # zero-occupancy integral segment at finalize.
+    for stats in sim._result.node_stats.values():
+        stats.observation_time = end
+
+    if telemetry is not None and any_node:
+        # The probe pre-creates these metrics for every instrumented
+        # node, so they exist (possibly at zero) whenever any node
+        # buffered at all.
+        registry = telemetry.registry
+        registry.counter("sim/admitted").inc(total_admitted - total_preempted)
+        registry.counter("sim/dropped").inc(len(drops))
+        registry.counter("sim/preempted").inc(total_preempted)
+        registry.counter("sim/released").inc(total_released)
+        for name, batches in (
+            ("events/drop", drop_times), ("events/preempt", preempt_times),
+        ):
+            series = telemetry.series.series(name)
+            if batches:
+                merged = np.sort(np.concatenate(batches), kind="stable")
+                series.extend(merged.tolist(), [1.0] * len(merged))
+
+    _finalize_fast(
+        sim, end,
+        processed=len(created) + total_admitted + total_released,
+        scheduled=len(created) + 2 * total_admitted,
+        skipped=total_preempted,
+    )
+
+
+# ----------------------------------------------------------------------
+def _infinite_node(node, in_t, in_p, delays, want_telemetry):
+    """Unbounded buffer: fully vectorized departures and occupancy."""
+    releases = in_t + delays
+    dep_order = np.argsort(releases, kind="stable")
+    dep_t = releases[dep_order]
+    dep_p = in_p[dep_order]
+    m = len(in_t)
+    ev_times = np.concatenate([in_t, releases])
+    deltas = np.concatenate([np.ones(m, dtype=np.int64), np.full(m, -1, dtype=np.int64)])
+    order = np.argsort(ev_times, kind="stable")
+    ev_times = ev_times[order]
+    deltas = deltas[order]
+    occ_after = np.cumsum(deltas)
+    occ_before = occ_after - deltas
+    elapsed = np.diff(ev_times, prepend=ev_times[0])
+    # Left-fold of per-event occ_before * elapsed, matching the
+    # engine's running float accumulation order exactly.
+    integral = float(np.cumsum(occ_before * elapsed)[-1]) if m else 0.0
+    stats = NodeStats(
+        node_id=node,
+        admitted=m,
+        peak_occupancy=int(occ_after.max()) if m else 0,
+        occupancy_time_integral=integral,
+    )
+    occ_series = (
+        (ev_times.tolist(), occ_after.astype(np.float64).tolist())
+        if want_telemetry
+        else None
+    )
+    return stats, dep_t, dep_p, occ_series
+
+
+def _bounded_node(node, in_t, in_p, delays, capacity, rcad, preemptions, want_telemetry):
+    """Bounded buffer loop: drop-tail sheds, RCAD preempts the heap head.
+
+    With shortest-remaining-delay the victim is exactly the minimum of
+    ``(release_time, entry_id)`` -- the release heap's head -- so the
+    buffer needs no victim scan at all.
+    """
+    heap: list[tuple[float, int, int]] = []  # (release_time, entry_id, packet)
+    dep_t: list[float] = []
+    dep_p: list[int] = []
+    occ_t: list[float] = []
+    occ_v: list[float] = []
+    drop_times: list[float] = []
+    preempt_times: list[float] = []
+    node_drops: list[tuple[float, int, int]] = []
+    admitted = dropped = preempted = 0
+    next_eid = 0
+    peak = 0
+    integral = 0.0
+    last = in_t[0]
+    push, pop = heapq.heappush, heapq.heappop
+    times = in_t.tolist()
+    pkts = in_p.tolist()
+    release_times = (in_t + delays).tolist()
+    for i in range(len(times)):
+        t = times[i]
+        while heap and heap[0][0] <= t:
+            rel, _, p2 = pop(heap)
+            occ = len(heap)
+            if rel > last:
+                integral += (occ + 1) * (rel - last)
+            last = rel
+            dep_t.append(rel)
+            dep_p.append(p2)
+            if want_telemetry:
+                occ_t.append(rel)
+                occ_v.append(float(occ))
+        occ = len(heap)
+        if t > last:
+            integral += occ * (t - last)
+        last = t
+        if occ >= capacity:
+            if rcad:
+                _, _, victim = pop(heap)
+                dep_t.append(t)
+                dep_p.append(victim)
+                preemptions[victim] += 1
+                preempted += 1
+                admitted += 1
+                push(heap, (release_times[i], next_eid, pkts[i]))
+                next_eid += 1
+                if want_telemetry:
+                    occ_t.append(t)
+                    occ_v.append(float(len(heap)))
+                    preempt_times.append(t)
+            else:
+                dropped += 1
+                node_drops.append((t, pkts[i], node))
+                if want_telemetry:
+                    occ_t.append(t)
+                    occ_v.append(float(occ))
+                    drop_times.append(t)
+        else:
+            admitted += 1
+            push(heap, (release_times[i], next_eid, pkts[i]))
+            next_eid += 1
+            if len(heap) > peak:
+                peak = len(heap)
+            if want_telemetry:
+                occ_t.append(t)
+                occ_v.append(float(len(heap)))
+    while heap:
+        rel, _, p2 = pop(heap)
+        occ = len(heap)
+        if rel > last:
+            integral += (occ + 1) * (rel - last)
+        last = rel
+        dep_t.append(rel)
+        dep_p.append(p2)
+        if want_telemetry:
+            occ_t.append(rel)
+            occ_v.append(float(occ))
+    stats = NodeStats(
+        node_id=node,
+        admitted=admitted,
+        dropped=dropped,
+        preemptions=preempted,
+        peak_occupancy=peak,
+        occupancy_time_integral=integral,
+    )
+    return (
+        stats,
+        np.asarray(dep_t, dtype=np.float64),
+        np.asarray(dep_p, dtype=np.int64),
+        (occ_t, occ_v),
+        node_drops,
+        drop_times,
+        preempt_times,
+    )

@@ -15,7 +15,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["NodeStats", "DroppedPacket", "SimulationResult"]
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeStats:
     """Per-node buffer statistics over one run."""
 

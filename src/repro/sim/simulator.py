@@ -63,7 +63,7 @@ __all__ = ["SensorNetworkSimulator"]
 _MASTER_KEY = bytes(range(16))
 
 
-@dataclass
+@dataclass(slots=True)
 class _TransitPacket:
     """A packet in flight, plus simulator-side bookkeeping."""
 
@@ -71,7 +71,7 @@ class _TransitPacket:
     preemptions: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _CopySet:
     """Arriving physical copies of one hop transmission (non-ARQ).
 
@@ -86,7 +86,7 @@ class _CopySet:
     accepted: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _NodeState:
     """Runtime state of one buffering node.
 
@@ -176,6 +176,16 @@ class SensorNetworkSimulator:
         if self._ran:
             raise RuntimeError("simulator instances are single-use; build a new one")
         self._ran = True
+        from repro.sim.fastpath import fastpath_eligible, fastpath_enabled, run_fastpath
+
+        if (
+            type(self) is SensorNetworkSimulator  # subclasses may override hooks
+            and fastpath_enabled()
+            and fastpath_eligible(self.config)
+        ):
+            # Batch replay: observable-bit-identical, order of magnitude
+            # faster.  REPRO_FASTPATH=0 forces the event-driven engine.
+            return run_fastpath(self)
         if self._faults is not None:
             self._schedule_crash_windows()
         self._schedule_creations()
@@ -197,7 +207,8 @@ class SensorNetworkSimulator:
             times = flow.traffic.creation_times(flow.n_packets, stream)
             for packet_index, created_at in enumerate(times):
                 self._sim.schedule(
-                    float(created_at), self._on_created, flow, packet_index
+                    float(created_at), self._on_created, flow, packet_index,
+                    lane=flow.source,
                 )
 
     def _schedule_crash_windows(self) -> None:
@@ -357,7 +368,7 @@ class SensorNetworkSimulator:
         entry = result.entry
         self._trace(transit, "buffered", node, detail=entry.release_time)
         entry.context = self._sim.schedule(
-            entry.release_time, self._on_release, node, entry.entry_id
+            entry.release_time, self._on_release, node, entry.entry_id, lane=node
         )
         if result.victim is not None:
             state.stats.preemptions += 1
@@ -416,7 +427,8 @@ class SensorNetworkSimulator:
                 self._record_unique_loss(node, transit)
                 return
             self._sim.schedule_after(
-                self._link.transmission_delay(), self._handle_at_node, next_hop, transit
+                self._link.transmission_delay(), self._handle_at_node,
+                next_hop, transit, lane=next_hop,
             )
             return
         # The duplicate-filter key must be pinned *now*: the header (and
@@ -478,7 +490,8 @@ class SensorNetworkSimulator:
         copyset = _CopySet(sender=sender, remaining=len(delays), dedup_key=dedup_key)
         for delay in delays:
             self._sim.schedule_after(
-                delay, self._on_copy_arrival, copyset, receiver, transit
+                delay, self._on_copy_arrival, copyset, receiver, transit,
+                lane=receiver,
             )
 
     def _on_copy_arrival(
@@ -541,7 +554,8 @@ class SensorNetworkSimulator:
             if self._copy_delivers(transfer.sender):
                 transfer.copies_in_flight += 1
                 self._sim.schedule_after(
-                    self._hop_delay(), self._on_arq_data, transfer
+                    self._hop_delay(), self._on_arq_data, transfer,
+                    lane=transfer.receiver,
                 )
         transfer.timer.start(self._on_arq_timeout, transfer)
 
@@ -569,7 +583,9 @@ class SensorNetworkSimulator:
         # was lost.  The ACK rides the receiver's own radio, so it
         # faces that link's loss process.
         if self._copy_delivers(receiver):
-            self._sim.schedule_after(self._hop_delay(), self._on_arq_ack, transfer)
+            self._sim.schedule_after(
+                self._hop_delay(), self._on_arq_ack, transfer, lane=transfer.sender
+            )
 
     def _on_arq_ack(self, transfer: ArqTransfer) -> None:
         if transfer.settled:
@@ -652,6 +668,7 @@ class SensorNetworkSimulator:
                     self._on_release,
                     node,
                     entry.entry_id,
+                    lane=node,
                 )
 
     # ------------------------------------------------------------------

@@ -44,6 +44,18 @@ class TimeSeries:
         self.times.append(time)
         self.values.append(value)
 
+    def extend(self, times: Sequence[float], values: Sequence[float]) -> None:
+        """Bulk-append already-time-ordered samples.
+
+        The batched simulator fast path records whole runs at once;
+        the result is indistinguishable from per-event :meth:`append`
+        calls in the same order.
+        """
+        if len(times) != len(values):
+            raise ValueError("times and values must be the same length")
+        self.times.extend(times)
+        self.values.extend(values)
+
     def __len__(self) -> int:
         return len(self.times)
 

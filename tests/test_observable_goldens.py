@@ -1,0 +1,60 @@
+"""Golden observable digests: the engine must never silently change.
+
+``tests/data/golden_observables.json`` was captured from the seed
+event-driven engine (pre calendar-queue / fast-path rewrite).  Every
+configuration in :func:`repro.sim.observables.reference_configs` must
+keep producing bit-identical observables — observations, delivery
+records, per-node statistics including the float occupancy integrals,
+conservation counters, telemetry — under any future engine change.
+
+A failure here means visible simulation output changed.  That is only
+ever acceptable for a deliberate, documented behaviour change, in which
+case regenerate with ``python scripts/capture_golden_observables.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.observables import (
+    observable_digest,
+    observable_view,
+    reference_configs,
+)
+from repro.sim.simulator import SensorNetworkSimulator
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_observables.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())["digests"]
+CONFIGS = reference_configs()
+
+
+def test_golden_file_covers_reference_configs():
+    assert set(GOLDEN) == set(CONFIGS)
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_observables_match_golden(name):
+    result = SensorNetworkSimulator(CONFIGS[name]).run()
+    assert observable_digest(result) == GOLDEN[name], (
+        f"observable output changed for {name!r}; if deliberate, "
+        "regenerate with scripts/capture_golden_observables.py"
+    )
+
+
+def test_observable_view_is_fingerprintable_and_stable():
+    result = SensorNetworkSimulator(CONFIGS["fig2-rcad-ia2"]).run()
+    view = observable_view(result)
+    assert view["records"]
+    assert len(view["observations"]) == len(view["records"])
+    # Digesting twice must agree (no hidden iteration-order dependence).
+    assert observable_digest(result) == observable_digest(result)
+
+
+def test_telemetry_participates_in_digest():
+    result = SensorNetworkSimulator(CONFIGS["poisson-rcad-telemetry"]).run()
+    view = observable_view(result)
+    assert "telemetry" in view
+    assert view["telemetry"]["series"]
