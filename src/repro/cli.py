@@ -22,10 +22,12 @@ code.  Commands:
   forks ``--workers`` local worker processes (external ``repro
   worker`` processes may join), steals work from crashed workers, and
   merges results bit-identical to a serial ``repro fig2`` run;
+  ``--listen HOST:PORT`` additionally serves the fabric over TCP for
+  workers without the shared directory mounted;
 * ``worker`` -- join a running (or upcoming) ``sweep-fabric``
   coordinator from another shell or host, pointed at its fabric
-  directory; sharing a ``--cache-dir`` across workers deduplicates
-  simulations between them;
+  directory and/or ``--connect HOST:PORT``; sharing a ``--cache-dir``
+  across workers deduplicates simulations between them;
 * ``serve`` -- run the streaming temporal-privacy service against a
   closed-loop load generator: sharded delay buffers, the tiered
   degradation ladder, Prometheus ``/metrics`` plus ``/healthz`` and
@@ -352,6 +354,12 @@ def build_parser() -> argparse.ArgumentParser:
         "'repro worker' here",
     )
     fabric.add_argument(
+        "--listen", type=str, default=None, metavar="HOST:PORT",
+        help="also serve the fabric over TCP on HOST:PORT (port 0 = "
+        "ephemeral); remote workers join with "
+        "'repro worker --connect HOST:PORT'",
+    )
+    fabric.add_argument(
         "--chart", action="store_true",
         help="also draw ASCII bar charts of the series",
     )
@@ -372,9 +380,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="join a sweep-fabric run as an external worker process",
     )
     worker.add_argument(
-        "fabric_dir",
+        "fabric_dir", nargs="?", default=None,
         help="the coordinator's fabric directory (printed by, and "
-        "settable with, 'repro sweep-fabric --fabric-dir')",
+        "settable with, 'repro sweep-fabric --fabric-dir'); optional "
+        "when --connect is given",
+    )
+    worker.add_argument(
+        "--connect", type=str, default=None, metavar="HOST:PORT",
+        help="join over TCP instead of (or in addition to) a shared "
+        "fabric directory; with both, the directory is the fallback "
+        "if the transport is lost",
     )
     worker.add_argument(
         "--worker-id", type=str, default=None, metavar="ID",
@@ -477,6 +492,13 @@ def _validate_fabric_options(args: argparse.Namespace) -> None:
                 f"be below --lease-ttl ({args.lease_ttl:g}s), or every "
                 f"lease expires between renewals"
             )
+    if args.listen is not None:
+        from repro.runtime.transport import parse_endpoint
+
+        try:
+            parse_endpoint(args.listen, allow_port_zero=True)
+        except ValueError as exc:
+            raise SystemExit(f"invalid --listen endpoint: {exc}")
 
 
 def _parse_sweep(raw: str) -> tuple[float, ...]:
@@ -562,6 +584,7 @@ def _cmd_sweep_fabric(args: argparse.Namespace) -> None:
         lease_ttl=args.lease_ttl,
         heartbeat_interval=args.heartbeat_interval,
         fabric_dir=args.fabric_dir,
+        listen=args.listen,
     )
     try:
         results, report = run_fabric(
@@ -597,11 +620,21 @@ def _cmd_sweep_fabric(args: argparse.Namespace) -> None:
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.runtime.fabric import FabricError, FabricWorker
+    from repro.runtime.transport import TransportError, parse_endpoint
 
     if args.heartbeat_interval is not None and args.heartbeat_interval <= 0:
         raise SystemExit(
             f"--heartbeat-interval must be a positive number of seconds, "
             f"got {args.heartbeat_interval:g}"
+        )
+    if args.connect is not None:
+        try:
+            parse_endpoint(args.connect)
+        except ValueError as exc:
+            raise SystemExit(f"invalid --connect endpoint: {exc}")
+    if args.fabric_dir is None and args.connect is None:
+        raise SystemExit(
+            "worker needs a fabric directory, --connect HOST:PORT, or both"
         )
     try:
         worker = FabricWorker(
@@ -609,11 +642,13 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             worker_id=args.worker_id,
             cache_dir=args.cache_dir,
             heartbeat_interval=args.heartbeat_interval,
+            connect=args.connect,
         )
-    except FabricError as exc:
+    except (FabricError, TransportError) as exc:
         raise SystemExit(str(exc))
+    joined = args.connect if worker.fabric_dir is None else worker.fabric_dir
     print(
-        f"worker {worker.worker_id} joined {worker.fabric_dir} "
+        f"worker {worker.worker_id} joined {joined} "
         f"({len(worker.items)} cells, lease ttl {worker.lease_ttl:g}s)",
         flush=True,
     )
@@ -622,9 +657,15 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print(f"worker {worker.worker_id}: interrupted, leases will lapse")
         return 130
+    except FabricError as exc:
+        print(f"worker {worker.worker_id}: {exc}")
+        return 1
+    degraded = " (transport lost, finished via shared directory)" if (
+        worker.transport_degraded
+    ) else ""
     print(
         f"worker {worker.worker_id}: computed {computed} cells "
-        f"({worker.steals} stolen from expired leases)"
+        f"({worker.steals} stolen from expired leases){degraded}"
     )
     return 0
 

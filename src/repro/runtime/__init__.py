@@ -35,7 +35,14 @@ per-cell simulator invocation.  This package instruments both:
   lease-based coordinator/worker layer over the journal and cache that
   shards one grid across worker processes (or hosts sharing a cache
   directory), steals work from crashed workers, and merges results in
-  item order so distributed runs stay bit-identical to serial.
+  item order so distributed runs stay bit-identical to serial;
+* :mod:`repro.runtime.transport` -- the fabric's TCP access path:
+  length-prefixed sha256-checksummed frames, an idempotent RPC client
+  with capped exponential backoff, and the coordinator-side asyncio
+  endpoint that gateways RPCs onto the fabric directory;
+* :mod:`repro.runtime.chaosnet` -- an in-process frame-aware chaos
+  proxy (latency, drops, duplicates, mid-frame resets, partitions)
+  that proves the transport's fault tolerance in tests and CI.
 """
 
 from repro.runtime.cache import (
@@ -75,12 +82,30 @@ from repro.runtime.supervisor import (
 )
 
 # Imported last: the fabric layers on top of every module above.
+from repro.runtime.chaosnet import (  # noqa: E402
+    ChaosProxy,
+    ChaosStats,
+    NetFaultPlan,
+    PartitionWindow,
+)
 from repro.runtime.fabric import (  # noqa: E402
     FabricConfig,
     FabricError,
     FabricReport,
     FabricWorker,
+    FilesystemClock,
+    SystemClock,
     run_fabric,
+)
+from repro.runtime.transport import (  # noqa: E402
+    Backoff,
+    FabricEndpoint,
+    FrameError,
+    TransportClient,
+    TransportDown,
+    TransportError,
+    TransportStats,
+    parse_endpoint,
 )
 
 __all__ = [
@@ -114,5 +139,19 @@ __all__ = [
     "FabricError",
     "FabricReport",
     "FabricWorker",
+    "FilesystemClock",
+    "SystemClock",
     "run_fabric",
+    "Backoff",
+    "FabricEndpoint",
+    "FrameError",
+    "TransportClient",
+    "TransportDown",
+    "TransportError",
+    "TransportStats",
+    "parse_endpoint",
+    "ChaosProxy",
+    "ChaosStats",
+    "NetFaultPlan",
+    "PartitionWindow",
 ]

@@ -76,6 +76,16 @@ from repro.runtime.journal import (
     sweep_fingerprint,
 )
 from repro.runtime.supervisor import RetryPolicy, supervised_map
+from repro.runtime.transport import (
+    TRANSPORT_VERSION,
+    FabricEndpoint,
+    NetHeartbeat,
+    TransportClient,
+    TransportDown,
+    TransportError,
+    format_endpoint,
+    parse_endpoint,
+)
 
 __all__ = [
     "FABRIC_VERSION",
@@ -83,6 +93,8 @@ __all__ = [
     "FabricConfig",
     "FabricReport",
     "FabricWorker",
+    "SystemClock",
+    "FilesystemClock",
     "run_fabric",
     "write_grid",
     "load_grid",
@@ -148,6 +160,108 @@ def default_worker_id() -> str:
 
 
 # ----------------------------------------------------------------------
+# Clocks.  Lease expiry compares *ages* against TTLs, which is only
+# meaningful when the claim timestamp and "now" come from the same time
+# base.  Three bases exist:
+#
+# * :class:`SystemClock` -- the local wall clock; correct when every
+#   participant shares one host (the forked-worker case, and tests);
+# * :class:`FilesystemClock` -- the shared filesystem's notion of time,
+#   sampled from a probe file's mtime.  Cross-host workers on NFS use
+#   it so a skewed local wall clock cannot prematurely steal a live
+#   lease: lease files are *anchored* by their mtime (fileserver time)
+#   and compared against fileserver time, so the writer's and reader's
+#   wall clocks both drop out of the arithmetic;
+# * coordinator time over TCP -- networked workers never do expiry
+#   arithmetic at all; the endpoint decides, with its own clock, and
+#   stamps every response with ``"t"``.
+
+
+class SystemClock:
+    """The local wall clock."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class FilesystemClock:
+    """Wall clock corrected to the shared filesystem's time base.
+
+    ``now()`` returns ``local_time + offset`` where ``offset`` is
+    measured by writing a probe file under ``fabric_dir`` and comparing
+    its mtime (stamped by the fileserver) against the local clock.  The
+    offset is resampled at most every ``resample_interval`` seconds.
+    On a local filesystem the offset is ~0 and this degrades to
+    :class:`SystemClock`; probe failures (read-only mount, races) fall
+    back to a zero offset rather than raising.
+
+    ``time_fn`` exists for tests: injecting a skewed local clock must
+    show the correction, not be hidden by it.
+    """
+
+    def __init__(
+        self,
+        fabric_dir: str | Path,
+        resample_interval: float = 60.0,
+        time_fn: Callable[[], float] = time.time,
+    ) -> None:
+        self.fabric_dir = Path(fabric_dir)
+        self.resample_interval = float(resample_interval)
+        self._time_fn = time_fn
+        self.offset = 0.0
+        self._sampled_at: float | None = None
+
+    def sample(self) -> float:
+        """Measure ``fileserver_time - local_time`` once."""
+        probe = self.fabric_dir / f".clock-probe-{os.getpid()}"
+        try:
+            self.fabric_dir.mkdir(parents=True, exist_ok=True)
+            before = self._time_fn()
+            probe.write_bytes(b"")
+            mtime = probe.stat().st_mtime
+            after = self._time_fn()
+            # The mtime was stamped somewhere inside [before, after];
+            # compare against the midpoint to halve the sampling error.
+            self.offset = mtime - (before + after) / 2.0
+        except OSError:
+            self.offset = 0.0
+        finally:
+            try:
+                probe.unlink()
+            except OSError:
+                pass
+        self._sampled_at = time.monotonic()
+        return self.offset
+
+    def now(self) -> float:
+        if (
+            self._sampled_at is None
+            or time.monotonic() - self._sampled_at >= self.resample_interval
+        ):
+            self.sample()
+        return self._time_fn() + self.offset
+
+
+def _heartbeat_payload_fresh(path: Path, payload: dict | None, now: float) -> bool:
+    """Is this heartbeat file evidence of a live worker at time ``now``?
+
+    Freshness is anchored to the file's *mtime* (fileserver time), not
+    the deadline the writer computed with its own possibly-skewed wall
+    clock: fresh iff ``mtime + ttl >= now``.  Files from older writers
+    without a ``ttl`` field fall back to the recorded deadline.
+    """
+    if payload is None or payload.get("left"):
+        return False
+    try:
+        ttl = payload.get("ttl")
+        if ttl is not None:
+            return path.stat().st_mtime + float(ttl) >= now
+        return float(payload["deadline"]) >= now
+    except Exception:
+        return False
+
+
+# ----------------------------------------------------------------------
 # Configuration.
 
 
@@ -177,6 +291,11 @@ class FabricConfig:
     cache_dir:
         Result-cache directory handed to every worker (the shared-dir
         dedup trick); None disables worker-side caching.
+    listen:
+        ``host:port`` TCP endpoint the coordinator serves lease claims,
+        heartbeats and result uploads on (port 0 binds an ephemeral
+        port, printed at startup); None keeps the fabric
+        shared-filesystem only.
     """
 
     workers: int = 2
@@ -185,8 +304,11 @@ class FabricConfig:
     poll_interval: float = 0.2
     fabric_dir: str | Path | None = None
     cache_dir: str | Path | None = None
+    listen: str | None = None
 
     def __post_init__(self) -> None:
+        if self.listen is not None:
+            parse_endpoint(self.listen, allow_port_zero=True)
         if self.workers < 0:
             raise ValueError(f"workers must be non-negative, got {self.workers}")
         if self.lease_ttl <= 0:
@@ -307,25 +429,19 @@ def write_grid(
         raise
 
 
-def load_grid(fabric_dir: Path) -> tuple[dict, list[object]]:
-    """``(header, items)`` from a fabric directory.
-
-    Unlike result journals, a torn grid is fatal: workers must agree on
-    the exact item list or lease indices would name different cells.
-    """
-    path = Path(fabric_dir) / _GRID_FILE
-    if not path.is_file():
-        raise FabricError(f"no grid at {path}; start a coordinator first")
-    lines = path.read_text(encoding="utf-8").splitlines()
+def _parse_grid_lines(
+    lines: Sequence[str], source: str
+) -> tuple[dict, list[object]]:
+    """Parse grid-format lines (from a file or the ``grid`` RPC)."""
     if not lines:
-        raise FabricError(f"empty grid at {path}")
+        raise FabricError(f"empty grid at {source}")
     try:
         header = json.loads(lines[0])
         if header.get("kind") != "header" or header.get("version") != FABRIC_VERSION:
             raise ValueError("bad header")
         n_items = int(header["n_items"])
     except Exception as exc:
-        raise FabricError(f"unreadable grid header at {path}: {exc!r}") from exc
+        raise FabricError(f"unreadable grid header at {source}: {exc!r}") from exc
     items: dict[int, object] = {}
     for line in lines[1:]:
         if not line.strip():
@@ -340,12 +456,25 @@ def load_grid(fabric_dir: Path) -> tuple[dict, list[object]]:
                 raise ValueError("checksum mismatch")
             items[index] = pickle.loads(data)
         except Exception as exc:
-            raise FabricError(f"corrupt grid item at {path}: {exc!r}") from exc
+            raise FabricError(f"corrupt grid item at {source}: {exc!r}") from exc
     if sorted(items) != list(range(n_items)):
         raise FabricError(
-            f"torn grid at {path}: {len(items)} of {n_items} items present"
+            f"torn grid at {source}: {len(items)} of {n_items} items present"
         )
     return header, [items[i] for i in range(n_items)]
+
+
+def load_grid(fabric_dir: Path) -> tuple[dict, list[object]]:
+    """``(header, items)`` from a fabric directory.
+
+    Unlike result journals, a torn grid is fatal: workers must agree on
+    the exact item list or lease indices would name different cells.
+    """
+    path = Path(fabric_dir) / _GRID_FILE
+    if not path.is_file():
+        raise FabricError(f"no grid at {path}; start a coordinator first")
+    lines = path.read_text(encoding="utf-8").splitlines()
+    return _parse_grid_lines(lines, source=str(path))
 
 
 # ----------------------------------------------------------------------
@@ -354,13 +483,21 @@ def load_grid(fabric_dir: Path) -> tuple[dict, list[object]]:
 
 @dataclass
 class Lease:
-    """One cell's current owner."""
+    """One cell's current owner.
+
+    ``claimed_at`` is what the claiming worker's clock said and is
+    recorded for diagnosis only; expiry arithmetic uses ``anchor`` (the
+    lease file's mtime, stamped by the filesystem holding the fabric
+    directory) so a claimant with a skewed wall clock cannot make its
+    lease look younger or older than it is.
+    """
 
     index: int
     worker: str
     epoch: int
     claimed_at: float
     stolen_from: str | None = None
+    anchor: float | None = None
 
     def to_json(self) -> dict:
         return {
@@ -380,14 +517,29 @@ class LeaseBoard:
     worker wins).  A steal of an expired lease is an atomic replace
     carrying ``epoch + 1``; two workers racing a steal may both run the
     cell, which is harmless (deterministic cells, checksummed journals,
-    later-wins merge).
+    later-wins merge).  Re-claiming a cell this worker already owns is
+    an idempotent success (same epoch) so at-least-once RPC delivery
+    can safely replay claims.
+
+    Expiry judgments are skew-tolerant: lease and heartbeat ages are
+    anchored to file mtimes (the fabric filesystem's time base), and
+    ``clock`` supplies "now" in that same base
+    (:class:`FilesystemClock` for cross-host workers; the default
+    :class:`SystemClock` is correct on a single host).
     """
 
-    def __init__(self, fabric_dir: Path, worker_id: str, lease_ttl: float) -> None:
+    def __init__(
+        self,
+        fabric_dir: Path,
+        worker_id: str,
+        lease_ttl: float,
+        clock: SystemClock | FilesystemClock | None = None,
+    ) -> None:
         self.directory = Path(fabric_dir) / _LEASE_DIR
         self.worker_dir = Path(fabric_dir) / _WORKER_DIR
         self.worker_id = worker_id
         self.lease_ttl = float(lease_ttl)
+        self.clock = clock if clock is not None else SystemClock()
 
     def path(self, index: int) -> Path:
         return self.directory / f"{index:06d}.json"
@@ -396,16 +548,19 @@ class LeaseBoard:
         """The current lease on a cell, or None (missing or torn)."""
         path = self.path(index)
         payload = _read_json(path)
+        try:
+            anchor = path.stat().st_mtime
+        except OSError:
+            anchor = None
         if payload is None:
-            if not path.exists():
+            if anchor is None:
                 return None
             # Torn lease (killed mid-create): age it by file mtime so it
             # becomes stealable after one TTL.
-            try:
-                mtime = path.stat().st_mtime
-            except OSError:
-                return None
-            return Lease(index=index, worker="?", epoch=0, claimed_at=mtime)
+            return Lease(
+                index=index, worker="?", epoch=0, claimed_at=anchor,
+                anchor=anchor,
+            )
         try:
             return Lease(
                 index=int(payload["index"]),
@@ -413,25 +568,29 @@ class LeaseBoard:
                 epoch=int(payload["epoch"]),
                 claimed_at=float(payload["claimed_at"]),
                 stolen_from=payload.get("stolen_from"),
+                anchor=anchor,
             )
         except Exception:
-            return Lease(index=index, worker="?", epoch=0, claimed_at=0.0)
+            return Lease(
+                index=index, worker="?", epoch=0, claimed_at=0.0, anchor=anchor
+            )
 
     def _heartbeat_fresh(self, worker: str, now: float) -> bool:
-        payload = _read_json(self.worker_dir / f"{worker}.json")
-        if payload is None or payload.get("left"):
-            return False
-        try:
-            return float(payload["deadline"]) >= now
-        except Exception:
-            return False
+        path = self.worker_dir / f"{worker}.json"
+        return _heartbeat_payload_fresh(path, _read_json(path), now)
 
     def is_expired(self, lease: Lease, now: float | None = None) -> bool:
-        """Stale owner heartbeat *and* claim older than one TTL."""
-        now = time.time() if now is None else now
+        """Stale owner heartbeat *and* claim older than one TTL.
+
+        Ages are measured against the lease file's mtime (falling back
+        to the recorded ``claimed_at`` only when the stat failed), in
+        this board's clock base.
+        """
+        now = self.clock.now() if now is None else now
         if self._heartbeat_fresh(lease.worker, now):
             return False
-        return now - lease.claimed_at >= self.lease_ttl
+        anchor = lease.anchor if lease.anchor is not None else lease.claimed_at
+        return now - anchor >= self.lease_ttl
 
     def try_claim(self, index: int) -> tuple[bool, str | None]:
         """Attempt to own a cell.
@@ -441,13 +600,19 @@ class LeaseBoard:
         """
         path = self.path(index)
         lease = Lease(
-            index=index, worker=self.worker_id, epoch=0, claimed_at=time.time()
+            index=index, worker=self.worker_id, epoch=0,
+            claimed_at=self.clock.now(),
         )
         self.directory.mkdir(parents=True, exist_ok=True)
         try:
             fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
             existing = self.read(index)
+            if existing is not None and existing.worker == self.worker_id:
+                # Idempotent re-claim: at-least-once delivery may replay
+                # a claim this worker already won (the response was
+                # lost, not the claim).  Same owner, same epoch.
+                return True, None
             if existing is None or not self.is_expired(existing):
                 return False, None
             lease.epoch = existing.epoch + 1
@@ -499,6 +664,9 @@ class Heartbeat:
     def beat(self, left: bool = False) -> None:
         now = time.time()
         self.beats += 1
+        # Readers judge freshness by this file's mtime + ttl, so the
+        # writer's wall clock (and any skew in it) carries no weight;
+        # deadline is kept for readers of the pre-ttl format.
         _atomic_write_json(
             self.path,
             {
@@ -506,6 +674,7 @@ class Heartbeat:
                 "worker": self.worker_id,
                 "pid": os.getpid(),
                 "deadline": now if left else now + self.lease_ttl,
+                "ttl": self.lease_ttl,
                 "beats": self.beats,
                 "cells_done": self.cells_done,
                 "left": left,
@@ -624,12 +793,15 @@ _FABRIC_FN: Callable | None = None
 
 
 class FabricWorker:
-    """One lease-claiming worker bound to a fabric directory.
+    """One lease-claiming worker, attached by directory or by TCP.
 
     Parameters
     ----------
     fabric_dir:
-        The coordinator's shared state directory.
+        The coordinator's shared state directory.  Optional when
+        ``connect`` is given; providing *both* arms the degradation
+        ladder (transport loss falls back to the shared directory
+        instead of giving up).
     worker_id:
         Unique id (becomes the heartbeat/journal file names); defaults
         to ``<hostname>-<pid>``.
@@ -644,21 +816,61 @@ class FabricWorker:
         quarantine behave exactly as in single-host sweeps.  A cell
         failing permanently journals a ``failed`` record (superseded if
         another worker later succeeds).
+    connect:
+        ``host:port`` of a coordinator endpoint
+        (``repro sweep-fabric --listen``).  The worker then claims
+        cells and uploads results over TCP; every RPC retries with
+        capped exponential backoff for up to ``max_retry_elapsed``
+        seconds before the transport is declared down.
+    transport_client:
+        A pre-built :class:`~repro.runtime.transport.TransportClient`
+        (tests route it through a chaos proxy); overrides ``connect``.
     """
 
     def __init__(
         self,
-        fabric_dir: str | Path,
+        fabric_dir: str | Path | None = None,
         worker_id: str | None = None,
         fn: Callable | None = None,
         cache_dir: str | Path | None = None,
         heartbeat_interval: float | None = None,
         poll_interval: float = 0.1,
         retry: RetryPolicy | None = None,
+        connect: str | None = None,
+        transport_client: TransportClient | None = None,
+        max_retry_elapsed: float = 60.0,
     ) -> None:
-        self.fabric_dir = Path(fabric_dir)
-        self.header, self.items = load_grid(self.fabric_dir)
+        self.fabric_dir = Path(fabric_dir) if fabric_dir is not None else None
         self.worker_id = _safe_worker_id(worker_id or default_worker_id())
+        self.transport_degraded = False
+        self._fell_back = False
+        self._client: TransportClient | None = None
+        if transport_client is not None:
+            self._client = transport_client
+            self.worker_id = _safe_worker_id(transport_client.worker_id)
+        elif connect is not None:
+            self._client = TransportClient(
+                connect,
+                worker_id=self.worker_id,
+                max_retry_elapsed=max_retry_elapsed,
+            )
+        if self._client is not None:
+            hello = self._client.call("hello")
+            if hello.get("version") != TRANSPORT_VERSION:
+                raise FabricError(
+                    f"endpoint {self._client.endpoint} speaks transport "
+                    f"version {hello.get('version')!r}, not {TRANSPORT_VERSION}"
+                )
+            lines = self._client.call("grid").get("lines") or []
+            self.header, self.items = _parse_grid_lines(
+                lines, source=f"endpoint {self._client.endpoint}"
+            )
+        else:
+            if self.fabric_dir is None:
+                raise FabricError(
+                    "a worker needs a fabric directory or a --connect endpoint"
+                )
+            self.header, self.items = load_grid(self.fabric_dir)
         if fn is None:
             ref = self.header.get("fn_ref")
             if not ref:
@@ -685,15 +897,29 @@ class FabricWorker:
             )
         self.poll_interval = float(poll_interval)
         self.retry = retry if retry is not None else RetryPolicy()
-        self.board = LeaseBoard(self.fabric_dir, self.worker_id, self.lease_ttl)
+        self.board: LeaseBoard | None = None
+        self.scanner: ResultsScanner | None = None
+        if self._client is not None:
+            self.heartbeat: Heartbeat | NetHeartbeat = NetHeartbeat(
+                self._client, self.heartbeat_interval
+            )
+        else:
+            self._init_dir_state()
+        self._journal = None
+        self.cells_computed = 0
+        self.steals = 0
+
+    def _init_dir_state(self) -> None:
+        """Boards/scanner/heartbeat for shared-directory operation."""
+        clock = FilesystemClock(self.fabric_dir)
+        self.board = LeaseBoard(
+            self.fabric_dir, self.worker_id, self.lease_ttl, clock=clock
+        )
         self.scanner = ResultsScanner(self.fabric_dir, len(self.items))
         self.heartbeat = Heartbeat(
             self.fabric_dir, self.worker_id, self.lease_ttl,
             self.heartbeat_interval,
         )
-        self._journal = None
-        self.cells_computed = 0
-        self.steals = 0
 
     # ------------------------------------------------------------------
     @property
@@ -701,8 +927,22 @@ class FabricWorker:
         return self.fabric_dir / _RESULT_DIR / f"{self.worker_id}.jsonl"
 
     def _journal_write(self, entry: dict) -> None:
-        """Append one record, fsynced so a SIGKILL tears at most the
-        line being written (which the scanner's checksum rejects)."""
+        """Durably record one result.
+
+        Directory mode appends to the worker's own journal, fsynced so
+        a SIGKILL tears at most the line being written (which the
+        scanner's checksum rejects).  Network mode uploads the same
+        record over the transport (the endpoint appends it, fsynced,
+        server-side); if the transport dies here the worker falls back
+        to the shared directory *before* writing, so a computed value
+        is never dropped on the floor.
+        """
+        if self._client is not None:
+            try:
+                self._client.call("upload", entry=entry)
+                return
+            except TransportDown:
+                self._enter_dir_fallback()
         if self._journal is None:
             self.journal_path.parent.mkdir(parents=True, exist_ok=True)
             fresh = not self.journal_path.exists()
@@ -727,6 +967,38 @@ class FabricWorker:
                 self._journal.close()
             finally:
                 self._journal = None
+        if self._client is not None:
+            client, self._client = self._client, None
+            client.close()
+
+    # ------------------------------------------------------------------
+    def _enter_dir_fallback(self) -> None:
+        """Transport lost: degrade to shared-directory mode if possible.
+
+        Raises :class:`FabricError` when no usable fabric directory is
+        mounted -- the last rung of the ladder; the coordinator's own
+        serial completion then covers the remaining cells.
+        """
+        client, self._client = self._client, None
+        if client is not None:
+            client.close()
+        if isinstance(self.heartbeat, NetHeartbeat):
+            self.heartbeat.stop(left=False)  # no farewell over a dead link
+        self.transport_degraded = True
+        self._fell_back = True
+        if self.fabric_dir is None or not (self.fabric_dir / _GRID_FILE).is_file():
+            raise FabricError(
+                "transport to the coordinator is down and no shared fabric "
+                "directory is mounted; abandoning (leases will lapse and "
+                "the coordinator completes the remaining cells)"
+            )
+        header, _ = load_grid(self.fabric_dir)
+        if header.get("sweep") != self.header.get("sweep"):
+            raise FabricError(
+                f"shared fabric directory {self.fabric_dir} holds a "
+                f"different sweep; cannot fall back to it"
+            )
+        self._init_dir_state()
 
     # ------------------------------------------------------------------
     def _claim_next(self) -> tuple[int, str | None] | None:
@@ -798,11 +1070,66 @@ class FabricWorker:
     def run(self) -> int:
         """Claim-and-compute until the whole grid is complete.
 
-        Returns the number of cells this worker computed.  The loop
-        exits only when every cell has a verified result (or permanent
-        failure) in some journal -- a worker with nothing claimable
-        keeps polling so it can steal from a straggler that dies.
+        Returns the number of cells this worker computed.  Network
+        workers that lose the transport walk the degradation ladder:
+        reconnect with backoff (inside every RPC), then continue in
+        shared-directory mode when a matching directory is mounted,
+        else abandon with :class:`FabricError` (the coordinator's
+        serial completion covers what is left).
         """
+        if self._client is not None:
+            self._run_net()
+            if not self._fell_back:
+                return self.cells_computed
+            # The transport died and _enter_dir_fallback re-armed the
+            # directory state; continue where the TCP phase stopped.
+        return self._run_dir()
+
+    def _run_net(self) -> None:
+        """Claim over TCP until the grid completes or the link dies."""
+        from repro.runtime.context import use_runtime
+
+        self.heartbeat.start()
+        cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        clean = False
+        try:
+            with use_runtime(jobs=1, cache=cache, retry=self.retry):
+                while self._client is not None:
+                    try:
+                        response = self._client.call("acquire")
+                    except TransportDown:
+                        self._enter_dir_fallback()
+                        return
+                    index = response.get("index")
+                    if index is None:
+                        if response.get("complete"):
+                            clean = True
+                            return
+                        # Every pending cell is validly leased elsewhere;
+                        # poll so this worker can steal from a straggler.
+                        time.sleep(self.poll_interval)
+                        continue
+                    if response.get("victim") is not None:
+                        self.steals += 1
+                        self._journal_write(
+                            {
+                                "kind": "event",
+                                "event": "steal",
+                                "index": int(index),
+                                "worker": self.worker_id,
+                                "victim": response["victim"],
+                            }
+                        )
+                    if self._client is None:
+                        return  # the event upload above fell back
+                    self._run_cell(int(index))
+        finally:
+            if self._client is not None:
+                self.heartbeat.stop(left=clean)
+                self.close()
+
+    def _run_dir(self) -> int:
+        """Claim against the shared directory until the grid completes."""
         from repro.runtime.context import use_runtime
 
         self.heartbeat.start()
@@ -885,6 +1212,8 @@ class FabricReport:
     per_worker: dict[str, int] = field(default_factory=dict)
     failed: dict[int, str] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    endpoint: str | None = None
+    transport: dict | None = None
 
     def render(self) -> str:
         lines = [
@@ -893,6 +1222,20 @@ class FabricReport:
             f"{self.claims} leases, {self.steals} steals, "
             f"{self.reclaims} reclaims, {self.corrupt_lines} corrupt lines"
         ]
+        if self.endpoint is not None:
+            t = self.transport or {}
+            lines.append(
+                f"  endpoint {self.endpoint}: "
+                f"{t.get('connections', 0)} connections, "
+                f"{t.get('frames_in', 0)} frames in / "
+                f"{t.get('frames_out', 0)} out, "
+                f"{t.get('uploads', 0)} uploads "
+                f"({t.get('uploads_deduped', 0)} deduped), "
+                f"{t.get('client_reconnects', 0)} worker reconnects, "
+                f"{t.get('client_retransmitted_frames', 0)} retransmits, "
+                f"{t.get('client_partitions', 0)} partitions, "
+                f"{t.get('client_backoff_seconds', 0.0):.1f}s backoff"
+            )
         for worker in sorted(self.per_worker):
             count = self.per_worker[worker]
             rate = count / self.wall_seconds if self.wall_seconds > 0 else 0.0
@@ -927,6 +1270,24 @@ def _publish_fabric_telemetry(report: FabricReport) -> None:
     registry.gauge("fabric/workers").set(float(report.workers_spawned))
     registry.gauge("fabric/degraded").set(1.0 if report.degraded else 0.0)
     registry.gauge("fabric/wall-seconds").set(report.wall_seconds)
+    if report.transport:
+        t = report.transport
+        for name, key in (
+            ("fabric/transport-connections", "connections"),
+            ("fabric/transport-frames-in", "frames_in"),
+            ("fabric/transport-frames-out", "frames_out"),
+            ("fabric/transport-frame-errors", "frame_errors"),
+            ("fabric/transport-uploads", "uploads"),
+            ("fabric/transport-uploads-deduped", "uploads_deduped"),
+            ("fabric/transport-reconnects", "client_reconnects"),
+            ("fabric/transport-retransmitted-frames",
+             "client_retransmitted_frames"),
+            ("fabric/transport-partitions", "client_partitions"),
+        ):
+            registry.counter(name).inc(int(t.get(key, 0)))
+        registry.gauge("fabric/transport-backoff-seconds").set(
+            float(t.get("client_backoff_seconds", 0.0))
+        )
     for worker in sorted(report.per_worker):
         registry.counter(f"fabric/cells-by/{worker}").inc(
             report.per_worker[worker]
@@ -997,6 +1358,7 @@ def run_fabric(
         poll_interval=config.poll_interval,
         fabric_dir=fabric_dir,
         cache_dir=cache_dir,
+        listen=config.listen,
     )
 
     started = time.monotonic()
@@ -1021,6 +1383,20 @@ def run_fabric(
     report.resumed = len(scanner.done)
 
     board = LeaseBoard(fabric_dir, "coordinator", config.lease_ttl)
+    endpoint = None
+    if config.listen is not None and len(scanner.done) < len(items):
+        host, port = parse_endpoint(config.listen, allow_port_zero=True)
+        endpoint = FabricEndpoint(fabric_dir, host, port)
+        try:
+            bound_port = endpoint.start()
+        except TransportError as exc:
+            raise FabricError(str(exc)) from exc
+        report.endpoint = format_endpoint(host, bound_port)
+        print(
+            f"fabric endpoint listening on {report.endpoint} "
+            f"(join with: repro worker --connect {report.endpoint})",
+            flush=True,
+        )
     processes: list = []
     global _FABRIC_FN
     try:
@@ -1081,6 +1457,15 @@ def run_fabric(
             if process.is_alive():  # pragma: no cover - last resort
                 process.kill()
                 process.join(timeout=5.0)
+        if endpoint is not None:
+            # Linger briefly once the grid is done so TCP workers can
+            # observe completion on their next acquire and say goodbye,
+            # instead of finding a dead socket and walking the full
+            # retry/fallback ladder for nothing.
+            scanner.scan()
+            if len(scanner.done) >= len(items):
+                endpoint.drain()
+            endpoint.stop()
 
     scanner.scan()
     results: list[object | None] = [scanner.cells.get(i) for i in range(len(items))]
@@ -1095,6 +1480,8 @@ def run_fabric(
     if report.steals < 0:  # pragma: no cover - defensive
         report.steals = 0
     report.wall_seconds = time.monotonic() - started
+    if endpoint is not None:
+        report.transport = _collect_transport_stats(endpoint, fabric_dir)
 
     missing = [i for i in range(len(items)) if results[i] is None and i not in report.failed]
     if missing:
@@ -1104,6 +1491,35 @@ def run_fabric(
         )
     _publish_fabric_telemetry(report)
     return results, report
+
+
+def _collect_transport_stats(
+    endpoint: FabricEndpoint, fabric_dir: Path
+) -> dict:
+    """Endpoint counters plus the worker-side counters each client
+    shipped in its heartbeats (prefixed ``client_``)."""
+    transport = endpoint.stats.to_json()
+    totals = {
+        "reconnects": 0,
+        "retransmitted_frames": 0,
+        "backoff_seconds": 0.0,
+        "partitions": 0,
+        "frame_errors": 0,
+    }
+    worker_dir = fabric_dir / _WORKER_DIR
+    if worker_dir.is_dir():
+        for path in worker_dir.glob("*.json"):
+            payload = _read_json(path)
+            client = (payload or {}).get("transport")
+            if not isinstance(client, dict):
+                continue
+            for key, zero in totals.items():
+                try:
+                    totals[key] = totals[key] + type(zero)(client.get(key, 0))
+                except (TypeError, ValueError):
+                    pass
+    transport.update({f"client_{key}": value for key, value in totals.items()})
+    return transport
 
 
 def _any_external_heartbeat(fabric_dir: Path, processes: list) -> bool:
@@ -1125,13 +1541,12 @@ def _any_external_heartbeat(fabric_dir: Path, processes: list) -> bool:
             for p in processes
         ):
             continue
-        if any(p.pid == payload.get("pid") for p in processes):
+        if payload.get("pid") is not None and any(
+            p.pid == payload.get("pid") for p in processes
+        ):
             continue  # one of ours, already known dead
-        try:
-            if float(payload["deadline"]) >= now:
-                return True
-        except Exception:
-            continue
+        if _heartbeat_payload_fresh(path, payload, now):
+            return True
     return False
 
 

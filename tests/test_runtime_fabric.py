@@ -19,9 +19,11 @@ from repro.runtime.fabric import (
     FabricConfig,
     FabricError,
     FabricWorker,
+    FilesystemClock,
     Heartbeat,
     LeaseBoard,
     ResultsScanner,
+    _heartbeat_payload_fresh,
     function_ref,
     load_grid,
     resolve_function_ref,
@@ -172,6 +174,122 @@ class TestLeaseBoard:
         claims, steals = b.stats()
         assert claims == 2
         assert steals == 1
+
+    def test_same_worker_reclaim_is_idempotent(self, tmp_path):
+        """At-least-once RPC delivery may replay a claim whose response
+        was lost; the owner must see success, not a deadlock."""
+        a = LeaseBoard(tmp_path, "a", lease_ttl=60.0)
+        assert a.try_claim(0) == (True, None)
+        assert a.try_claim(0) == (True, None)
+        assert a.read(0).epoch == 0
+
+
+class _SkewedClock:
+    """A worker whose wall clock runs one hour fast (no correction)."""
+
+    def __init__(self, skew=3600.0):
+        self.skew = skew
+
+    def now(self):
+        return time.time() + self.skew
+
+
+class TestClockSkew:
+    """Cross-host skew regression: a worker with a fast wall clock must
+    not prematurely steal a live lease (ISSUE 9 satellite)."""
+
+    def test_filesystem_clock_measures_local_skew(self, tmp_path):
+        skewed = FilesystemClock(
+            tmp_path, time_fn=lambda: time.time() + 3600.0
+        )
+        offset = skewed.sample()
+        # Probe mtimes come from the (unskewed) filesystem, so the
+        # measured offset cancels the injected skew.
+        assert offset == pytest.approx(-3600.0, abs=5.0)
+        assert skewed.now() == pytest.approx(time.time(), abs=5.0)
+
+    def test_filesystem_clock_survives_unwritable_directory(self, tmp_path):
+        clock = FilesystemClock(tmp_path / "missing" / "x" / "y")
+        # mkdir will create it; point at a file to force the OSError path.
+        (tmp_path / "blocked").write_text("")
+        clock = FilesystemClock(tmp_path / "blocked" / "sub")
+        assert clock.sample() == 0.0
+        assert clock.now() == pytest.approx(time.time(), abs=5.0)
+
+    def test_uncorrected_fast_clock_steals_a_live_lease(self, tmp_path):
+        """The hazard itself: with raw wall clocks, one hour of skew
+        makes a fresh lease look expired."""
+        a = LeaseBoard(tmp_path, "a", lease_ttl=60.0)
+        Heartbeat(tmp_path, "a", lease_ttl=60.0, interval=10.0).beat()
+        a.try_claim(0)
+        rogue = LeaseBoard(
+            tmp_path, "b", lease_ttl=60.0, clock=_SkewedClock()
+        )
+        claimed, victim = rogue.try_claim(0)
+        assert claimed and victim == "a"  # the bug this PR fixes
+
+    def test_corrected_fast_clock_cannot_steal_a_live_lease(self, tmp_path):
+        """The fix: the same skewed worker, using FilesystemClock,
+        judges lease and heartbeat ages in fileserver time."""
+        a = LeaseBoard(tmp_path, "a", lease_ttl=60.0)
+        Heartbeat(tmp_path, "a", lease_ttl=60.0, interval=10.0).beat()
+        a.try_claim(0)
+        corrected = FilesystemClock(
+            tmp_path, time_fn=lambda: time.time() + 3600.0
+        )
+        b = LeaseBoard(tmp_path, "b", lease_ttl=60.0, clock=corrected)
+        claimed, _ = b.try_claim(0)
+        assert not claimed
+
+    def test_skewed_writer_lease_age_anchored_to_mtime(self, tmp_path):
+        """A lease whose recorded claimed_at is absurd (skewed writer)
+        ages by its file mtime, not the recorded timestamp."""
+        a = LeaseBoard(tmp_path, "a", lease_ttl=60.0)
+        a.try_claim(0)
+        # Rewrite the lease with a claimed_at one hour in the past, as
+        # a slow-clocked writer would have stamped it.
+        lease = a.read(0)
+        payload = lease.to_json()
+        payload["claimed_at"] = time.time() - 3600.0
+        a.path(0).write_text(json.dumps(payload))
+        b = LeaseBoard(tmp_path, "b", lease_ttl=60.0)
+        claimed, _ = b.try_claim(0)
+        assert not claimed  # file is seconds old, whatever it claims
+
+    def test_heartbeat_freshness_ignores_writer_deadline_when_ttl_present(
+        self, tmp_path
+    ):
+        """A heartbeat from a slow-clocked worker records a deadline
+        that is already past; freshness must come from mtime + ttl."""
+        path = tmp_path / "workers" / "a.json"
+        path.parent.mkdir(parents=True)
+        payload = {
+            "kind": "heartbeat",
+            "worker": "a",
+            "deadline": time.time() - 3600.0,  # skewed writer's clock
+            "ttl": 60.0,
+            "left": False,
+        }
+        path.write_text(json.dumps(payload))
+        assert _heartbeat_payload_fresh(path, payload, time.time()) is True
+
+    def test_heartbeat_freshness_falls_back_to_deadline_without_ttl(
+        self, tmp_path
+    ):
+        path = tmp_path / "workers" / "a.json"
+        path.parent.mkdir(parents=True)
+        fresh = {"kind": "heartbeat", "deadline": time.time() + 60.0}
+        stale = {"kind": "heartbeat", "deadline": time.time() - 60.0}
+        path.write_text(json.dumps(fresh))
+        assert _heartbeat_payload_fresh(path, fresh, time.time()) is True
+        assert _heartbeat_payload_fresh(path, stale, time.time()) is False
+
+    def test_left_heartbeat_is_never_fresh(self, tmp_path):
+        path = tmp_path / "workers" / "a.json"
+        path.parent.mkdir(parents=True)
+        payload = {"kind": "heartbeat", "ttl": 60.0, "left": True}
+        path.write_text(json.dumps(payload))
+        assert _heartbeat_payload_fresh(path, payload, time.time()) is False
 
 
 class TestResultsScanner:
