@@ -10,6 +10,12 @@ code.  Commands:
   by a chosen adversary;
 * ``chaos`` -- the fault-injection sweep: delivery, privacy, latency
   and retransmission overhead vs fault intensity, drop-tail vs RCAD;
+* ``scenarios`` -- expand a declarative scenario suite (JSON: topology
+  family x source placement x traffic mix x buffer model x registry
+  defenses x seeds) into a matrix run on the parallel runtime and
+  print per-cell privacy/latency/delivery summaries;
+  ``--example`` prints a ready-to-run suite, ``--list-defenses`` the
+  defense registry;
 * ``theory`` -- the Section 3 bound validations;
 * ``queueing`` -- the Section 4 closed-form validations;
 * ``metrics`` -- summarize a telemetry run manifest (``--series`` /
@@ -72,7 +78,7 @@ __all__ = ["main", "build_parser"]
 
 
 #: commands that run simulations and therefore take runtime options.
-_SIMULATION_COMMANDS = ("fig2", "fig3", "run", "chaos", "sweep-fabric")
+_SIMULATION_COMMANDS = ("fig2", "fig3", "run", "chaos", "scenarios", "sweep-fabric")
 
 
 def _add_runtime_options(sub: argparse.ArgumentParser) -> None:
@@ -215,6 +221,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the ARQ-enabled half of the sweep",
     )
     _add_runtime_options(chaos)
+
+    scenarios = commands.add_parser(
+        "scenarios",
+        help="expand a scenario suite file into a (defense x seed) "
+        "matrix run with per-cell privacy/latency/delivery summaries",
+    )
+    scenarios.add_argument(
+        "spec", nargs="?", default=None,
+        help="scenario suite JSON file (start from 'repro scenarios "
+        "--example > suite.json'); not needed with --example / "
+        "--list-defenses",
+    )
+    scenarios.add_argument(
+        "--example", action="store_true",
+        help="print the built-in example suite (3 topology families x "
+        "5 registry defenses) as JSON and exit",
+    )
+    scenarios.add_argument(
+        "--list-defenses", action="store_true",
+        help="list the defense registry entries with their parameter "
+        "signatures and exit",
+    )
+    scenarios.add_argument(
+        "--scenario", type=str, default=None, metavar="NAME",
+        help="run only the named scenario of the suite",
+    )
+    scenarios.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="also write the per-cell summaries as JSON to PATH",
+    )
+    _add_runtime_options(scenarios)
 
     for name, help_text in (
         ("theory", "Section 3 information-bound validations"),
@@ -719,6 +756,58 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
     print(render_chaos_rows(rows))
 
 
+def _cmd_scenarios_info(args: argparse.Namespace) -> int:
+    """--example / --list-defenses: informational, no runtime needed."""
+    import json
+
+    if args.example:
+        from repro.scenarios import example_suite, suite_to_dict
+
+        print(json.dumps(suite_to_dict(example_suite()), indent=2))
+        return 0
+    from repro.defenses import DEFENSES
+
+    for name in DEFENSES.names():
+        print(f"{name}{DEFENSES.signature(name)}")
+        print(f"    {DEFENSES.describe()[name]}")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.scenarios import (
+        load_suite,
+        render_summaries,
+        run_suite,
+        summaries_to_dict,
+    )
+
+    if args.spec is None:
+        raise SystemExit(
+            "scenarios needs a suite file (generate one with "
+            "'repro scenarios --example > suite.json')"
+        )
+    try:
+        specs = load_suite(args.spec)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    if args.scenario is not None:
+        specs = [spec for spec in specs if spec.name == args.scenario]
+        if not specs:
+            raise SystemExit(
+                f"no scenario named {args.scenario!r} in {args.spec}"
+            )
+    summaries = run_suite(specs)
+    print(render_summaries(summaries))
+    if args.json is not None:
+        payload = summaries_to_dict(summaries)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+
 def _cmd_theory(fast: bool) -> None:
     from repro.experiments.theory import (
         delay_distribution_comparison,
@@ -1142,6 +1231,8 @@ def _dispatch(args: argparse.Namespace) -> None:
         _cmd_run(args)
     elif args.command == "chaos":
         _cmd_chaos(args)
+    elif args.command == "scenarios":
+        _cmd_scenarios(args)
     elif args.command == "sweep-fabric":
         _cmd_sweep_fabric(args)
     elif args.command == "theory":
@@ -1176,6 +1267,8 @@ def _main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "scenarios" and (args.example or args.list_defenses):
+        return _cmd_scenarios_info(args)
     if args.command not in _SIMULATION_COMMANDS:
         _dispatch(args)
         return 0

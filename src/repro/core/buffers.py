@@ -25,6 +25,7 @@ keeps this module independently unit-testable.
 from __future__ import annotations
 
 import abc
+import operator
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Sequence
@@ -42,6 +43,28 @@ __all__ = [
     "DropTailBuffer",
     "RcadBuffer",
 ]
+
+
+def _validated_capacity(capacity: Any) -> int:
+    """Capacity as an exact integer; mirrors the erlang.py convention.
+
+    ``operator.index`` admits any integral type (python ints, numpy
+    integers) while rejecting floats -- ``DropTailBuffer(2.9)`` used to
+    silently truncate to 2 slots -- and bools, which are technically
+    ints but always a caller bug here.
+    """
+    if isinstance(capacity, bool):
+        raise TypeError("capacity must be an integer, not a bool")
+    try:
+        value = operator.index(capacity)
+    except TypeError:
+        raise TypeError(
+            f"capacity must be an integer, got {type(capacity).__name__} "
+            f"({capacity!r})"
+        )
+    if value < 1:
+        raise ValueError(f"capacity must be at least 1, got {value}")
+    return value
 
 
 class AdmissionOutcome(Enum):
@@ -265,9 +288,7 @@ class DropTailBuffer(PacketBuffer):
 
     def __init__(self, capacity: int) -> None:
         super().__init__()
-        if capacity < 1:
-            raise ValueError(f"capacity must be at least 1, got {capacity}")
-        self._capacity = int(capacity)
+        self._capacity = _validated_capacity(capacity)
 
     @property
     def capacity(self) -> int:
@@ -313,9 +334,7 @@ class RcadBuffer(PacketBuffer):
         self, capacity: int, victim_policy: VictimPolicy | None = None
     ) -> None:
         super().__init__()
-        if capacity < 1:
-            raise ValueError(f"capacity must be at least 1, got {capacity}")
-        self._capacity = int(capacity)
+        self._capacity = _validated_capacity(capacity)
         self.victim_policy = victim_policy or ShortestRemainingDelay()
 
     @property

@@ -87,13 +87,18 @@ class PhantomRoutingPolicy(RoutingPolicy):
         self._remaining: dict[tuple[int, int], int] = {}
 
     def first_hop_state(self, packet_key: tuple[int, int]) -> None:
-        self._remaining[packet_key] = self.walk_length
+        if self.walk_length > 0:
+            self._remaining[packet_key] = self.walk_length
 
     def next_hop(self, node, packet_key, rng):
+        # Finished walk counters are removed (not left at 0) so the
+        # policy object returns to its pre-run state once every packet
+        # is routed: the result cache fingerprints the whole config, so
+        # leftover per-packet state would make the post-run cache key
+        # differ from the pre-run one and every phantom run would miss.
         remaining = self._remaining.get(packet_key, 0)
         if remaining <= 0:
             return self.tree.next_hop(node)
-        self._remaining[packet_key] = remaining - 1
         candidates = [
             neighbor
             for neighbor in self._neighbors[node]
@@ -101,6 +106,10 @@ class PhantomRoutingPolicy(RoutingPolicy):
         ]
         if not candidates:
             # Cornered next to the sink: end the walk, route normally.
-            self._remaining[packet_key] = 0
+            del self._remaining[packet_key]
             return self.tree.next_hop(node)
+        if remaining == 1:
+            del self._remaining[packet_key]
+        else:
+            self._remaining[packet_key] = remaining - 1
         return int(candidates[int(rng.integers(len(candidates)))])

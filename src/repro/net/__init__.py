@@ -11,6 +11,7 @@ TinyOS MultiHop-style cleartext header next to an encrypted payload.
 from repro.net.link import ConstantDelayLink, LossyLink
 from repro.net.packet import Packet, PacketObservation, RoutingHeader
 from repro.net.routing import (
+    DisconnectedDeploymentError,
     RoutingTree,
     backup_parents,
     greedy_grid_tree,
@@ -37,6 +38,7 @@ __all__ = [
     "ConstantDelayLink",
     "LossyLink",
     "RoutingTree",
+    "DisconnectedDeploymentError",
     "shortest_path_tree",
     "greedy_grid_tree",
     "backup_parents",

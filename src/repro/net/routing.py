@@ -25,10 +25,35 @@ from repro.net.topology import Deployment
 
 __all__ = [
     "RoutingTree",
+    "DisconnectedDeploymentError",
     "shortest_path_tree",
     "greedy_grid_tree",
     "backup_parents",
 ]
+
+
+class DisconnectedDeploymentError(ValueError):
+    """A deployment node cannot reach the sink over the radio graph.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites keep working; carries the offending node so scenario
+    tooling can report *which* placement failed instead of guessing.
+    """
+
+    def __init__(self, node: int, sink: int, n_unreachable: int = 1) -> None:
+        self.node = node
+        self.sink = sink
+        self.n_unreachable = n_unreachable
+        others = (
+            f" ({n_unreachable - 1} other nodes are unreachable too)"
+            if n_unreachable > 1
+            else ""
+        )
+        super().__init__(
+            f"deployment is disconnected: node {node} cannot reach the "
+            f"sink {sink} over the radio graph{others}; increase "
+            "radio_range or node density"
+        )
 
 
 @dataclass(frozen=True)
@@ -84,6 +109,26 @@ class RoutingTree:
         """
         return len(self.path(source)) - 1
 
+    def depths(self) -> dict[int, int]:
+        """Hop count of every node (sink included, at 0), in one pass.
+
+        Equivalent to calling :meth:`hop_count` per node but memoized
+        along shared path suffixes, so it is O(n) instead of O(n * h)
+        -- the difference between instant and sluggish on the 10^4-node
+        scenario topologies.
+        """
+        depth = {self.sink: 0}
+        for node in self.parent:
+            chain: list[int] = []
+            current = node
+            while current not in depth:
+                chain.append(current)
+                current = self.parent.get(current, self.sink)
+            base = depth[current]
+            for offset, member in enumerate(reversed(chain), start=1):
+                depth[member] = base + offset
+        return depth
+
     def children_map(self) -> dict[int, list[int]]:
         """Inverse of ``parent``: node -> nodes forwarding into it."""
         children: dict[int, list[int]] = {}
@@ -114,18 +159,34 @@ def backup_parents(deployment: Deployment, tree: RoutingTree) -> dict[int, int]:
     deterministic.  Nodes with no qualifying neighbour (e.g. a node
     whose only closer neighbour *is* its parent) are absent from the
     mapping and simply lose packets while their parent is down.
+
+    Raises :class:`ValueError` naming the offending node when the tree
+    and the deployment disagree (a tree node that is not deployed, or a
+    radio neighbour that is not part of the tree) instead of surfacing
+    a bare ``KeyError`` from deep inside the depth lookup.
     """
     graph = deployment.connectivity_graph()
-    depth = {node: tree.hop_count(node) for node in tree.parent}
-    depth[tree.sink] = 0
+    depth = tree.depths()
     backups: dict[int, int] = {}
     for node in tree.parent:
+        if node not in graph:
+            raise ValueError(
+                f"routing-tree node {node} is not in the deployment "
+                f"(deployed ids: {len(deployment.positions)} nodes, "
+                f"sink {deployment.sink}); tree and deployment disagree"
+            )
         primary = tree.parent[node]
-        candidates = [
-            (depth[neighbor], neighbor)
-            for neighbor in graph.neighbors(node)
-            if neighbor != primary and depth[neighbor] < depth[node]
-        ]
+        candidates: list[tuple[int, int]] = []
+        for neighbor in graph.neighbors(node):
+            neighbor_depth = depth.get(neighbor)
+            if neighbor_depth is None:
+                raise ValueError(
+                    f"neighbour {neighbor} of node {node} is absent from "
+                    f"the routing tree toward sink {tree.sink}; the tree "
+                    "does not span the deployment it is used with"
+                )
+            if neighbor != primary and neighbor_depth < depth[node]:
+                candidates.append((neighbor_depth, neighbor))
         if candidates:
             backups[node] = min(candidates)[1]
     return backups
@@ -136,11 +197,19 @@ def shortest_path_tree(deployment: Deployment) -> RoutingTree:
 
     Ties between equally short parents are broken toward the smaller
     node id so that routing is deterministic across runs.
+
+    Raises :class:`DisconnectedDeploymentError` -- naming the first
+    unreachable node -- when the deployment does not connect; the BFS
+    distances double as the reachability check, so the graph is built
+    once instead of twice.
     """
     graph = deployment.connectivity_graph()
-    if not deployment.is_connected():
-        raise ValueError("deployment is not connected; cannot route every node")
     distances = nx.single_source_shortest_path_length(graph, deployment.sink)
+    unreachable = [n for n in deployment.node_ids if n not in distances]
+    if unreachable:
+        raise DisconnectedDeploymentError(
+            unreachable[0], deployment.sink, len(unreachable)
+        )
     parent: dict[int, int] = {}
     for node in deployment.node_ids:
         if node == deployment.sink:
@@ -150,6 +219,8 @@ def shortest_path_tree(deployment: Deployment) -> RoutingTree:
             for neighbor in graph.neighbors(node)
             if distances[neighbor] == distances[node] - 1
         ]
+        if not candidates:  # pragma: no cover - BFS guarantees a parent
+            raise DisconnectedDeploymentError(node, deployment.sink)
         parent[node] = min(candidates)
     return RoutingTree(parent=parent, sink=deployment.sink)
 
@@ -163,7 +234,15 @@ def greedy_grid_tree(deployment: Deployment, width: int) -> RoutingTree:
     deeper in the grid join the diagonal trunk and share all remaining
     hops.  Hop counts equal Manhattan distances, as with any shortest
     -path grid routing.
+
+    Only valid for unit-spaced row-major grids (``id = y * width + x``,
+    integer coordinates).  Every computed parent is validated against
+    ``deployment.positions``: a non-lattice or non-row-major deployment
+    raises a clear :class:`ValueError` instead of silently producing a
+    tree whose parents reference the wrong -- or nonexistent -- nodes.
     """
+    if width < 1:
+        raise ValueError(f"grid width must be at least 1, got {width}")
     sink_x, sink_y = deployment.positions[deployment.sink]
     parent: dict[int, int] = {}
     for node, (x, y) in deployment.positions.items():
@@ -178,5 +257,29 @@ def greedy_grid_tree(deployment: Deployment, width: int) -> RoutingTree:
         else:  # pragma: no cover - co-located with sink but not the sink
             raise ValueError(f"node {node} is co-located with the sink")
         next_x, next_y = int(x + step[0]), int(y + step[1])
-        parent[node] = next_y * width + next_x
+        if x + step[0] != next_x or y + step[1] != next_y:
+            raise ValueError(
+                f"greedy_grid_tree requires integer unit-spaced grid "
+                f"coordinates, but node {node} sits at ({x:g}, {y:g}); "
+                "use shortest_path_tree for non-lattice deployments"
+            )
+        parent_id = next_y * width + next_x
+        actual = deployment.positions.get(parent_id)
+        if actual is None:
+            raise ValueError(
+                f"greedy_grid_tree: node {node} at ({x:g}, {y:g}) steps "
+                f"to ({next_x}, {next_y}), but the row-major id "
+                f"{parent_id} = {next_y} * {width} + {next_x} is not "
+                f"deployed; the deployment is not a width-{width} "
+                "row-major grid"
+            )
+        if (float(actual[0]), float(actual[1])) != (float(next_x), float(next_y)):
+            raise ValueError(
+                f"greedy_grid_tree: node {node} at ({x:g}, {y:g}) steps "
+                f"to ({next_x}, {next_y}), but node {parent_id} -- the "
+                f"row-major id for that cell -- sits at "
+                f"({actual[0]:g}, {actual[1]:g}); node ids are not "
+                f"row-major (id = y * {width} + x) in this deployment"
+            )
+        parent[node] = parent_id
     return RoutingTree(parent=parent, sink=deployment.sink)

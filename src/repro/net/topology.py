@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Mapping
 
 import networkx as nx
 import numpy as np
@@ -77,14 +77,45 @@ class Deployment:
         return math.hypot(ax - bx, ay - by)
 
     def connectivity_graph(self) -> nx.Graph:
-        """The unit-disk communication graph."""
+        """The unit-disk communication graph.
+
+        Candidate pairs come from a spatial hash (grid cells of side
+        ``radio_range``): two nodes within range always fall in the
+        same or adjacent cells, so only those pairs are distance-tested.
+        The edge set is exactly the brute-force all-pairs one
+        (``distance <= radio_range + 1e-12``), but building it is
+        O(n * local density) instead of O(n^2) -- the difference
+        between milliseconds and minutes at the 10^3-10^4-node
+        scenario scales.
+        """
         graph = nx.Graph()
         graph.add_nodes_from(self.positions)
         ids = self.node_ids
-        for i, a in enumerate(ids):
-            for b in ids[i + 1 :]:
-                if self.distance(a, b) <= self.radio_range + 1e-12:
-                    graph.add_edge(a, b)
+        if len(ids) < 2:
+            return graph
+        cell = self.radio_range
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for node in ids:
+            x, y = self.positions[node]
+            key = (math.floor(x / cell), math.floor(y / cell))
+            buckets.setdefault(key, []).append(node)
+        limit = self.radio_range + 1e-12
+        # Half of the 8-neighbourhood: each unordered cell pair is
+        # visited exactly once, as is each node pair within a cell.
+        offsets = ((1, -1), (1, 0), (1, 1), (0, 1))
+        for (cx, cy), members in buckets.items():
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    if self.distance(a, b) <= limit:
+                        graph.add_edge(a, b)
+            for ox, oy in offsets:
+                others = buckets.get((cx + ox, cy + oy))
+                if others is None:
+                    continue
+                for a in members:
+                    for b in others:
+                        if self.distance(a, b) <= limit:
+                            graph.add_edge(a, b)
         return graph
 
     def is_connected(self) -> bool:
@@ -146,16 +177,25 @@ def random_geometric_deployment(
     n_nodes: int,
     area_side: float,
     radio_range: float,
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
     max_attempts: int = 50,
 ) -> Deployment:
     """Uniform random node placement, resampled until connected.
 
     The sink is the node closest to the area's corner (0, 0), modelling
     an edge-of-field base station.
+
+    ``rng`` may be a ``numpy`` ``Generator`` or a plain integer seed
+    (``default_rng(seed)`` is built internally), so declarative
+    scenario specs can pin the topology with a number: the same seed
+    always yields the identical deployment.
     """
     if n_nodes < 2:
         raise ValueError(f"need at least 2 nodes, got {n_nodes}")
+    if area_side <= 0:
+        raise ValueError(f"area side must be positive, got {area_side}")
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
     for _ in range(max_attempts):
         coords = rng.uniform(0.0, area_side, size=(n_nodes, 2))
         positions = {i: (float(x), float(y)) for i, (x, y) in enumerate(coords)}
@@ -169,8 +209,10 @@ def random_geometric_deployment(
         if deployment.is_connected():
             return deployment
     raise RuntimeError(
-        f"could not draw a connected deployment in {max_attempts} attempts; "
-        "increase radio_range or node density"
+        f"could not draw a connected deployment in {max_attempts} attempts "
+        f"({n_nodes} nodes over a {area_side:g} x {area_side:g} area = "
+        f"{n_nodes / area_side**2:.3g} nodes per unit area at radio range "
+        f"{radio_range:g}); increase radio_range or node density"
     )
 
 

@@ -10,7 +10,7 @@ no-delay / unlimited / RCAD -- selected by :class:`BufferSpec`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Literal
+from typing import Literal, Mapping
 
 from repro.core.planner import DelayPlan, UniformPlanner
 from repro.core.victim import VictimPolicy
@@ -51,11 +51,18 @@ class BufferSpec:
 
     ``capacity`` is required for the bounded kinds; ``victim_policy``
     (RCAD only) defaults to the paper's shortest-remaining-delay.
+
+    ``per_node_capacity`` (bounded kinds only) overrides ``capacity``
+    for the listed node ids, modelling heterogeneous hardware: nodes
+    absent from the mapping keep the default ``capacity`` slots.  The
+    paper's homogeneous model is the ``None`` default and takes
+    identical code paths.
     """
 
     kind: Literal["infinite", "drop-tail", "rcad"] = "infinite"
     capacity: int | None = None
     victim_policy: VictimPolicy | None = None
+    per_node_capacity: Mapping[int, int] | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("infinite", "drop-tail", "rcad"):
@@ -65,6 +72,27 @@ class BufferSpec:
                 raise ValueError(f"{self.kind} buffers need capacity >= 1")
         if self.kind != "rcad" and self.victim_policy is not None:
             raise ValueError("victim policies only apply to RCAD buffers")
+        if self.per_node_capacity is not None:
+            if self.kind == "infinite":
+                raise ValueError(
+                    "per-node capacities only apply to bounded buffers"
+                )
+            for node, slots in self.per_node_capacity.items():
+                if slots < 1:
+                    raise ValueError(
+                        f"per-node capacity for node {node} must be >= 1, "
+                        f"got {slots}"
+                    )
+
+    def capacity_for(self, node: int) -> int | None:
+        """Buffer slots at ``node``, or None for unbounded buffers."""
+        if self.kind == "infinite":
+            return None
+        if self.per_node_capacity is not None:
+            override = self.per_node_capacity.get(node)
+            if override is not None:
+                return override
+        return self.capacity
 
 
 @dataclass

@@ -306,7 +306,6 @@ def _run_delayed(
     spec = config.buffers
     telemetry = sim.telemetry
     rcad = spec.kind == "rcad"
-    capacity = spec.capacity if spec.kind in ("drop-tail", "rcad") else None
 
     # Topological order: deeper nodes (more hops to the sink) first.
     buffering: set[int] = set()
@@ -354,6 +353,7 @@ def _run_delayed(
         delays = plan.distribution_for(node).sample_batch(
             sim._rng.stream(f"delay/node-{node}"), len(in_t)
         )
+        capacity = spec.capacity_for(node)
         if capacity is None:
             stats, dep_t, dep_p, occ_series = _infinite_node(
                 node, in_t, in_p, delays, telemetry is not None

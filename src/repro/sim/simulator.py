@@ -223,7 +223,7 @@ class SensorNetworkSimulator:
             delay_plan = self.config.delay_plan
             state = _NodeState(
                 core=TemporalPrivacyCore(
-                    buffer=self._make_buffer(),
+                    buffer=self._make_buffer(node),
                     delay=(
                         delay_plan.distribution_for(node)
                         if delay_plan is not None
@@ -272,15 +272,14 @@ class SensorNetworkSimulator:
 
         buffer.telemetry_probe = probe
 
-    def _make_buffer(self) -> PacketBuffer:
+    def _make_buffer(self, node: int) -> PacketBuffer:
         spec = self.config.buffers
-        if spec.kind == "infinite":
+        capacity = spec.capacity_for(node)
+        if capacity is None:
             return InfiniteBuffer()
         if spec.kind == "drop-tail":
-            assert spec.capacity is not None  # validated by BufferSpec
-            return DropTailBuffer(capacity=spec.capacity)
-        assert spec.capacity is not None  # validated by BufferSpec
-        return RcadBuffer(capacity=spec.capacity, victim_policy=spec.victim_policy)
+            return DropTailBuffer(capacity=capacity)
+        return RcadBuffer(capacity=capacity, victim_policy=spec.victim_policy)
 
     # ------------------------------------------------------------------
     # packet lifecycle

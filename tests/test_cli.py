@@ -193,6 +193,70 @@ class TestResumeOption:
         assert strip(first) == strip(second)
 
 
+class TestScenariosCommand:
+    def test_list_defenses(self, capsys):
+        assert main(["scenarios", "--list-defenses"]) == 0
+        out = capsys.readouterr().out
+        for name in ("no-delay", "rcad", "drop-tail", "phantom"):
+            assert name in out
+        assert "walk_length" in out
+
+    def test_example_round_trips(self, capsys):
+        import json
+
+        from repro.scenarios import example_suite, parse_suite
+
+        assert main(["scenarios", "--example"]) == 0
+        out = capsys.readouterr().out
+        assert parse_suite(json.loads(out)) == example_suite()
+
+    def test_missing_spec_is_friendly(self):
+        with pytest.raises(SystemExit, match="--example"):
+            main(["scenarios"])
+
+    def test_unknown_scenario_name_rejected(self, tmp_path, capsys):
+        import json
+
+        from repro.scenarios import example_suite, suite_to_dict
+
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(suite_to_dict(example_suite())))
+        with pytest.raises(SystemExit, match="nope"):
+            main(["scenarios", str(path), "--scenario", "nope"])
+
+    def test_small_suite_runs_and_exports(self, tmp_path, capsys):
+        import json
+
+        suite = {
+            "scenarios": [
+                {
+                    "name": "mini",
+                    "topology": {"family": "line", "n_nodes": 5},
+                    "traffic": [{"model": "periodic", "interarrival": 6.0}],
+                    "defenses": [{"name": "no-delay"}, {"name": "rcad"}],
+                    "n_packets": 4,
+                }
+            ]
+        }
+        spec_path = tmp_path / "suite.json"
+        spec_path.write_text(json.dumps(suite))
+        out_path = tmp_path / "out.json"
+        code = main([
+            "scenarios", str(spec_path),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario mini" in out
+        assert "no-delay" in out and "rcad" in out
+        payload = json.loads(out_path.read_text())
+        assert len(payload["summaries"]) == 2
+        by_defense = {s["defense"]: s for s in payload["summaries"]}
+        assert by_defense["no-delay"]["mse"] == 0.0
+        assert by_defense["rcad"]["mse"] > 0.0
+
+
 class TestCacheSubcommand:
     def _warm(self, tmp_path):
         main([
